@@ -1,0 +1,33 @@
+// Command caldbg prints headline calibration statistics of a generated
+// population for several seeds, the tuning aid used while matching the
+// paper's published marginals.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	for _, seed := range []uint64{1, 7, 13, 99} {
+		cfg := workload.ScaledConfig(0.15)
+		cfg.Seed = seed
+		g, err := workload.NewGenerator(cfg)
+		if err != nil {
+			panic(err)
+		}
+		specs := g.GenerateSpecs()
+		ds := g.BuildDataset(specs)
+		jobs := ds.GPUJobs()
+		run := trace.RunMinutes(jobs)
+		sm := trace.MeanValues(jobs, metrics.SMUtil)
+		pw := trace.MeanValues(jobs, metrics.Power)
+		q := stats.Quantiles(run, 0.25, 0.5, 0.75)
+		fmt.Printf("seed=%3d gpuJobs=%6d run[%5.1f %5.1f %6.1f] smMed=%5.1f pwMed=%5.1f\n",
+			seed, len(jobs), q[0], q[1], q[2], stats.Median(sm), stats.Median(pw))
+	}
+}

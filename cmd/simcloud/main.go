@@ -1,0 +1,193 @@
+// Command simcloud runs the discrete-event path end to end: synthesize a
+// job population, schedule it on the simulated 224-node cluster through the
+// Slurm-like scheduler with the monitoring pipeline attached, and report
+// scheduling statistics plus the Fig. 3b queue-wait comparison. The point of
+// this path is validation — the short GPU waits emerge from the co-location
+// policy, not from calibration (try -colocate=false to see them collapse).
+//
+// Usage:
+//
+//	simcloud -scale 0.05
+//	simcloud -scale 0.05 -nodes 40 -colocate=false
+//	simcloud -in trace.csv                     # replay a recorded trace
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/report"
+	"repro/internal/slurm"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simcloud: ")
+	var (
+		in          = flag.String("in", "", "replay a recorded dataset (.csv or .json from tracegen) instead of generating")
+		days        = flag.Float64("days", 125, "observation window for CSV inputs")
+		scale       = flag.Float64("scale", 0.05, "population scale relative to the paper")
+		seed        = flag.Uint64("seed", 1, "generator seed")
+		nodes       = flag.Int("nodes", 0, "cluster nodes (0 = scale the 224-node machine with the workload)")
+		colocate    = flag.Bool("colocate", true, "share node CPUs between GPU jobs and CPU slices (production policy)")
+		monInterval = flag.Float64("monitor-interval", 30, "GPU sampling cadence in simulated seconds (0 = disable monitoring)")
+		out         = flag.String("out", "", "optional path to write the resulting dataset (JSON)")
+	)
+	flag.Parse()
+
+	gcfg := workload.ScaledConfig(*scale)
+	gcfg.Seed = *seed
+	var specs []workload.JobSpec
+	if *in != "" {
+		ds, err := loadDataset(*in, *days)
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs = workload.ReplaySpecs(ds, *seed)
+		gcfg.DurationDays = ds.DurationDays
+	} else {
+		gen, err := workload.NewGenerator(gcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs = gen.GenerateSpecs()
+	}
+
+	scfg := slurm.DefaultConfig()
+	if *nodes > 0 {
+		scfg.Cluster.Nodes = *nodes
+	} else {
+		n := int(float64(scfg.Cluster.Nodes) * *scale)
+		if n < 4 {
+			n = 4
+		}
+		scfg.Cluster.Nodes = n
+	}
+	scfg.Policy.Colocate = *colocate
+	if *monInterval > 0 {
+		mc := monitor.DefaultConfig()
+		mc.GPUIntervalSec = *monInterval
+		scfg.Monitor = &mc
+		scfg.MonitorSeed = *seed
+		// Detailed series for the scaled subset, chosen by stride.
+		detailed := map[int64]bool{}
+		stride := len(specs) / max(1, gcfg.TimeSeriesJobs)
+		if stride < 1 {
+			stride = 1
+		}
+		for i := 0; i < len(specs); i += stride {
+			if specs[i].IsGPU() {
+				detailed[specs[i].ID] = true
+			}
+		}
+		scfg.DetailedJobs = detailed
+	}
+
+	sim, err := slurm.NewSimulator(scfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tel := sim.EnableTelemetry(0)
+	results, st, err := sim.Run(specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := sim.BuildDataset(specs, results, gcfg.DurationDays)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	t := report.NewTable("simulation summary", "quantity", "value")
+	t.AddRowF("jobs completed", st.Completed)
+	t.AddRowF("cluster nodes", scfg.Cluster.Nodes)
+	t.AddRowF("total GPUs", st.TotalGPUs)
+	t.AddRowF("mean GPU occupancy", st.MeanGPUOccupancy())
+	t.AddRowF("max queue length", st.MaxQueueLen)
+	t.AddRowF("monitor overflows", st.MonitorOverflow)
+	if err := t.Render(w); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(w)
+
+	var gpuWaits, cpuWaits []float64
+	for _, j := range ds.GPUJobs() {
+		gpuWaits = append(gpuWaits, j.WaitSec)
+	}
+	for _, j := range ds.CPUJobs() {
+		cpuWaits = append(cpuWaits, j.WaitSec)
+	}
+	t2 := report.NewTable("Fig 3b (DES path): queue waits", "population", "median (s)", "p90 (s)", "mean (s)")
+	t2.AddRowF("GPU jobs", stats.Median(gpuWaits), stats.Quantile(gpuWaits, 0.9), stats.Mean(gpuWaits))
+	t2.AddRowF("CPU jobs", stats.Median(cpuWaits), stats.Quantile(cpuWaits, 0.9), stats.Mean(cpuWaits))
+	if err := t2.Render(w); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(w)
+
+	bySize := slurm.WaitBySize(specs, results)
+	t3 := report.NewTable("Sec V (DES path): median wait by job size", "size", "median wait (s)")
+	for c := 0; c < 4; c++ {
+		t3.AddRowF(core.SizeClassLabel(c), bySize[c])
+	}
+	if err := t3.Render(w); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(w)
+
+	occ := tel.OccupancyQuantiles(st.TotalGPUs, 0.25, 0.5, 0.9)
+	t4 := report.NewTable("cluster telemetry", "quantity", "value")
+	t4.AddRowF("occupancy p25/p50/p90", fmt.Sprintf("%.2f / %.2f / %.2f", occ[0], occ[1], occ[2]))
+	t4.AddRowF("peak queue depth", tel.PeakQueueLen())
+	t4.AddRowF("telemetry points", len(tel.Points))
+	if err := t4.Render(w); err != nil {
+		log.Fatal(err)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ds.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "\nwrote dataset to %s\n", *out)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// loadDataset reads a tracegen output file.
+func loadDataset(path string, days float64) (*trace.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(path, ".json.gz"):
+		return trace.ReadJSONGZ(f)
+	case strings.HasSuffix(path, ".json"):
+		return trace.ReadJSON(f)
+	case strings.HasSuffix(path, ".csv.gz"), strings.HasSuffix(path, ".gz"):
+		return trace.ReadCSVGZ(f, days)
+	default:
+		return trace.ReadCSV(f, days)
+	}
+}

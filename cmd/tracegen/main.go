@@ -1,0 +1,71 @@
+// Command tracegen synthesizes a Supercloud-shaped trace dataset along the
+// analytic path and writes it to disk as CSV (job table) or JSON (full
+// dataset including per-GPU summaries and the detailed time-series subset).
+//
+// Usage:
+//
+//	tracegen -scale 0.1 -seed 1 -out trace.csv
+//	tracegen -scale 1.0 -json -out trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	var (
+		scale  = flag.Float64("scale", 0.1, "population scale relative to the paper (1.0 = 74,820 jobs / 191 users)")
+		seed   = flag.Uint64("seed", 1, "generator seed")
+		out    = flag.String("out", "trace.csv", "output path")
+		asJSON = flag.Bool("json", false, "write full JSON (per-GPU summaries + time series) instead of CSV")
+		series = flag.Int("series", -1, "detailed time-series subset size (-1 = scaled paper default)")
+	)
+	flag.Parse()
+
+	cfg := workload.ScaledConfig(*scale)
+	cfg.Seed = *seed
+	if *series >= 0 {
+		cfg.TimeSeriesJobs = *series
+	}
+	g, err := workload.NewGenerator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs := g.GenerateSpecs()
+	ds := g.BuildDataset(specs)
+	if err := ds.Validate(); err != nil {
+		log.Fatalf("generated dataset invalid: %v", err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	switch {
+	case *asJSON && strings.HasSuffix(*out, ".gz"):
+		err = ds.WriteJSONGZ(f)
+	case *asJSON:
+		err = ds.WriteJSON(f)
+	case strings.HasSuffix(*out, ".gz"):
+		err = ds.WriteCSVGZ(f)
+	default:
+		err = ds.WriteCSV(f)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d jobs (%d GPU jobs after the 30s filter, %d detailed series) to %s\n",
+		len(ds.Jobs), len(ds.GPUJobs()), len(ds.Series), *out)
+}

@@ -1,0 +1,247 @@
+// Command whatif runs the paper's opportunity studies over a synthesized
+// population: the Fig. 9b power-cap sweep, the §VIII two-tier fleet
+// economics, the §III/§VI GPU co-location policies, the checkpoint/restart
+// planner, and the MIG packing exercise.
+//
+// Usage:
+//
+//	whatif -study powercap -scale 0.1
+//	whatif -study twotier
+//	whatif -study colocate
+//	whatif -study checkpoint
+//	whatif -study mig
+//	whatif -study all
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/gpu"
+	"repro/internal/predict"
+	"repro/internal/report"
+	"repro/internal/sharing"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("whatif: ")
+	var (
+		study = flag.String("study", "all", "powercap | capping | twotier | reliability | colocate | incentive | checkpoint | mig | predict | all")
+		scale = flag.Float64("scale", 0.05, "population scale relative to the paper")
+		seed  = flag.Uint64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	cfg := workload.ScaledConfig(*scale)
+	cfg.Seed = *seed
+	gen, err := workload.NewGenerator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs := gen.GenerateSpecs()
+	ds := gen.BuildDataset(specs)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	studies := map[string]func(io.Writer, []workload.JobSpec, *trace.Dataset) error{
+		"powercap":    runPowerCap,
+		"capping":     runCapComparison,
+		"predict":     runPredict,
+		"incentive":   runIncentive,
+		"reliability": runReliability,
+		"twotier":     runTwoTier,
+		"colocate":    runColocate,
+		"checkpoint":  runCheckpoint,
+		"mig":         runMIG,
+	}
+	if *study == "all" {
+		for _, name := range []string{"powercap", "capping", "twotier", "reliability", "colocate", "incentive", "checkpoint", "mig", "predict"} {
+			if err := studies[name](w, specs, ds); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintln(w)
+		}
+		return
+	}
+	fn, ok := studies[*study]
+	if !ok {
+		log.Fatalf("unknown study %q", *study)
+	}
+	if err := fn(w, specs, ds); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runPowerCap(w io.Writer, _ []workload.JobSpec, ds *trace.Dataset) error {
+	res, err := sharing.PowerCapStudy(ds, gpu.V100(), 448, []float64{150, 200, 250})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Fig 9b: power-cap impact",
+		"cap (W)", "unimpacted", "peak-impacted", "avg-impacted", "extra GPUs", "mean slowdown")
+	for _, l := range res.Levels {
+		t.AddRowF(l.CapWatts, report.Pct(l.UnimpactedFrac), report.Pct(l.PeakImpactedFrac),
+			report.Pct(l.AvgImpactedFrac), l.ExtraGPUsSupportable, l.MeanSlowdown)
+	}
+	return t.Render(w)
+}
+
+func runCapComparison(w io.Writer, _ []workload.JobSpec, ds *trace.Dataset) error {
+	rows, err := sharing.CompareCapping(ds, gpu.V100(), []float64{150, 200, 250})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("extension: power capping vs frequency capping (Patki et al.)",
+		"target (W)", "power-cap slowdown", "power-cap hit", "freq-cap slowdown", "freq-cap hit")
+	for _, r := range rows {
+		t.AddRowF(r.TargetWatts, r.PowerCapMeanSlowdown, report.Pct(r.PowerCapImpactedFrac),
+			r.FreqCapMeanSlowdown, report.Pct(r.FreqCapImpactedFrac))
+	}
+	return t.Render(w)
+}
+
+func runTwoTier(w io.Writer, _ []workload.JobSpec, ds *trace.Dataset) error {
+	res, err := sharing.TwoTierStudy(ds, sharing.DefaultTierPlan())
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Sec VIII: two-tier fleet economics",
+		"design", "fast GPUs", "slow GPUs", "capex (USD)", "slow-tier slowdown")
+	t.AddRowF("single tier (V100 only)", res.SingleTier.FastGPUs, 0, res.SingleTier.CapexUSD, 1.0)
+	t.AddRowF("two tier (V100 + T4)", res.TwoTier.FastGPUs, res.TwoTier.SlowGPUs,
+		res.TwoTier.CapexUSD, res.TwoTier.MeanSlowdown)
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "capex savings: %s; slow-tier job share: %s\n",
+		report.Pct(res.CapexSavingsFrac), report.Pct(res.TwoTier.SlowTierJobFrac))
+	return err
+}
+
+func runColocate(w io.Writer, specs []workload.JobSpec, _ *trace.Dataset) error {
+	cfg := sharing.DefaultColocationConfig()
+	t := report.NewTable("Sec III/VI: GPU co-location policies",
+		"policy", "pairs", "GPU hours", "saved", "mean slowdown", "max slowdown")
+	for _, pol := range []sharing.ColocationPolicy{sharing.Exclusive, sharing.StaticPairing, sharing.PhaseAware} {
+		rep := sharing.Colocate(specs, pol, cfg)
+		t.AddRowF(pol.String(), rep.PairsFormed, rep.GPUHoursUsed,
+			report.Pct(rep.SavedFrac), rep.MeanSlowdown, rep.MaxSlowdown)
+	}
+	ts, err := sharing.TimeSlice(specs, sharing.DefaultTimeSliceConfig())
+	if err != nil {
+		return err
+	}
+	t.AddRowF("time-slicing (Gandiva-like)", ts.GroupsFormed, ts.GPUHoursUsed,
+		report.Pct(ts.SavedFrac), ts.MeanStretch, ts.MeanStretch)
+	return t.Render(w)
+}
+
+func runCheckpoint(w io.Writer, _ []workload.JobSpec, ds *trace.Dataset) error {
+	rep, err := sharing.CheckpointStudy(ds, sharing.DefaultCheckpointConfig())
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Sec VI: checkpoint/restart for development & IDE jobs", "quantity", "value")
+	t.AddRowF("jobs covered (failed/timeout)", rep.JobsCovered)
+	t.AddRowF("Young-Daly interval (s)", rep.IntervalSec)
+	t.AddRowF("lost GPU hours (no ckpt)", rep.LostGPUHoursNoCkpt)
+	t.AddRowF("lost GPU hours (with ckpt)", rep.LostGPUHoursWithCkpt)
+	t.AddRowF("checkpoint overhead (GPUh)", rep.OverheadGPUHours)
+	t.AddRowF("net GPU hours saved", rep.SavedGPUHours)
+	return t.Render(w)
+}
+
+func runIncentive(w io.Writer, specs []workload.JobSpec, _ *trace.Dataset) error {
+	res, err := sharing.IncentiveStudy(specs, sharing.DefaultIncentiveConfig())
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Sec VIII: coupon-based co-location incentive", "quantity", "value")
+	t.AddRowF("participating users", res.Participants)
+	t.AddRowF("GPU hours saved (coupon pool)", res.SavedGPUHours)
+	t.AddRowF("coupons granted", res.TotalCoupons)
+	t.AddRowF("self-funding", fmt.Sprint(res.Solvent))
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	limit := 5
+	if len(res.Ledger) < limit {
+		limit = len(res.Ledger)
+	}
+	t2 := report.NewTable("top coupon earners", "user", "jobs shared", "slowdown hours", "coupons")
+	for _, e := range res.Ledger[:limit] {
+		t2.AddRowF(e.User, e.JobsShared, e.SlowdownHours, e.CouponsEarned)
+	}
+	return t2.Render(w)
+}
+
+func runReliability(w io.Writer, _ []workload.JobSpec, ds *trace.Dataset) error {
+	plan := sharing.DefaultReliabilityPlan()
+	res, err := sharing.ReliabilityStudy(ds, plan)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Sec VIII: reduced-reliability cheap tier (with checkpointing)", "quantity", "value")
+	t.AddRowF("baseline capex (USD)", res.BaselineCapexUSD)
+	t.AddRowF("flaky-tier capex (USD)", res.CapexUSD)
+	t.AddRowF("expected failures (window)", res.ExpectedFailures)
+	t.AddRowF("lost GPU hours (checkpointed)", res.LostGPUHours)
+	t.AddRowF("lost GPU hours (unprotected)", res.LostGPUHoursNoCkpt)
+	t.AddRowF("net savings (USD)", res.NetSavingsUSD)
+	t.AddRowF("worthwhile", fmt.Sprint(res.Worthwhile))
+	return t.Render(w)
+}
+
+func runPredict(w io.Writer, _ []workload.JobSpec, ds *trace.Dataset) error {
+	t := report.NewTable("Sec IV: lightweight user-behavior prediction (online replay)",
+		"target", "predictor", "n", "MAE", "MedAPE", "RMSLE")
+	for _, target := range []predict.Target{predict.TargetRunMinutes, predict.TargetMeanSM} {
+		scores, err := predict.Evaluate(ds, target, predict.StandardPredictors())
+		if err != nil {
+			return err
+		}
+		for _, s := range scores {
+			t.AddRowF(s.Target, s.Predictor, s.N, s.MAE, s.MedAPE, s.RMSLE)
+		}
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, "per-user state buys little: users are individually unpredictable (Fig 11/12).")
+	return err
+}
+
+func runMIG(w io.Writer, _ []workload.JobSpec, _ *trace.Dataset) error {
+	// Pack a representative slice-demand mix onto one A100 and show the
+	// reset friction §VIII describes.
+	part, err := gpu.NewMIGPartitioner(gpu.A100())
+	if err != nil {
+		return err
+	}
+	layout, err := gpu.PackLayout(gpu.A100(), []int{3, 2, 1, 1})
+	if err != nil {
+		return err
+	}
+	cost, err := part.Repartition(layout)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Sec VIII: MIG packing on one A100", "slice", "compute", "memory (GB)")
+	for _, pr := range layout {
+		t.AddRowF(pr.Name, pr.ComputeSlices, pr.MemoryGB)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "repartition cost: %.0fs (device must be idle; %d resets so far)\n",
+		cost, part.Resets())
+	return err
+}

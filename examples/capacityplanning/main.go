@@ -1,0 +1,83 @@
+// Capacity planning: an operator sizing the next procurement round uses the
+// paper's §VIII recommendations — power-capped over-provisioning (Fig. 9b)
+// and a two-tier fleet — and quantifies both against a synthesized year of
+// the current workload.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/gpu"
+	"repro/internal/report"
+	"repro/internal/sharing"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := workload.ScaledConfig(0.08)
+	cfg.Seed = 7
+	gen, err := workload.NewGenerator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := gen.BuildDataset(gen.GenerateSpecs())
+
+	// Question 1: if we cap every V100 at lower power, how many more GPUs
+	// does the same electrical budget feed, and who gets hurt?
+	fmt.Println("== power-capped over-provisioning (Fig. 9b) ==")
+	caps := []float64{120, 150, 200, 250}
+	res, err := sharing.PowerCapStudy(ds, gpu.V100(), 448, caps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := report.NewTable("", "cap (W)", "fleet size", "unimpacted jobs", "avg-impacted jobs", "mean slowdown")
+	for _, l := range res.Levels {
+		t.AddRowF(l.CapWatts, 448+l.ExtraGPUsSupportable,
+			report.Pct(l.UnimpactedFrac), report.Pct(l.AvgImpactedFrac), l.MeanSlowdown)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Question 2: is a two-tier fleet cheaper for this job mix? Sweep the
+	// slow-tier routing sets.
+	fmt.Println("\n== two-tier fleet designs (Sec VIII) ==")
+	designs := []struct {
+		name string
+		cats []trace.Category
+	}{
+		{"IDE only", []trace.Category{trace.IDE}},
+		{"IDE + development", []trace.Category{trace.IDE, trace.Development}},
+		{"IDE + dev + exploratory", []trace.Category{trace.IDE, trace.Development, trace.Exploratory}},
+	}
+	t2 := report.NewTable("", "slow-tier routing", "capex savings", "slow-tier slowdown", "slow-tier jobs")
+	for _, d := range designs {
+		plan := sharing.DefaultTierPlan()
+		plan.SlowTierCategories = d.cats
+		out, err := sharing.TwoTierStudy(ds, plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t2.AddRowF(d.name, report.Pct(out.CapexSavingsFrac),
+			out.TwoTier.MeanSlowdown, report.Pct(out.TwoTier.SlowTierJobFrac))
+	}
+	if err := t2.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Question 3: how much lost work would checkpointing reclaim from the
+	// failure/timeout-terminated development and IDE jobs?
+	fmt.Println("\n== checkpoint/restart planning (Sec VI) ==")
+	ck, err := sharing.CheckpointStudy(ds, sharing.DefaultCheckpointConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("covered jobs: %d; Young-Daly interval: %.0fs\n", ck.JobsCovered, ck.IntervalSec)
+	fmt.Printf("lost GPU hours: %.0f without checkpoints, %.0f with (net saving %.0f GPUh)\n",
+		ck.LostGPUHoursNoCkpt, ck.LostGPUHoursWithCkpt, ck.SavedGPUHours)
+}

@@ -1,0 +1,492 @@
+// Package cluster models the Supercloud hardware inventory (Table I of the
+// paper): 224 dual-socket Xeon nodes with two V100 GPUs each, 384 GB of node
+// RAM, local plus shared storage, and a two-layer partial fat-tree
+// interconnect. It exposes the resource accounting the scheduler needs —
+// per-node free cores/memory/GPUs, allocation and release with hard
+// conservation invariants, and density-aware placement for multi-GPU jobs.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+)
+
+// Config describes a cluster to build. The zero value is not useful; use
+// SupercloudConfig for the paper's system or construct explicitly for tests.
+type Config struct {
+	Nodes        int
+	CoresPerNode int
+	MemGBPerNode float64
+	GPUsPerNode  int
+	GPUSpec      gpu.Spec
+	// NodesPerRack controls the topology distance metric used by dense
+	// placement; nodes in one rack are "neighbors".
+	NodesPerRack int
+	// Interconnect and network are descriptive (Table I rendering).
+	Interconnect string
+	Network      string
+	LocalSSDTB   float64
+	LocalHDDTB   float64
+	SharedSSDTB  float64
+}
+
+// SupercloudConfig returns the paper's Table I configuration.
+func SupercloudConfig() Config {
+	return Config{
+		Nodes:        224,
+		CoresPerNode: 40, // two Xeon Gold 6248, 20 cores each
+		MemGBPerNode: 384,
+		GPUsPerNode:  2,
+		GPUSpec:      gpu.V100(),
+		NodesPerRack: 16,
+		Interconnect: "100 Gb/s Omnipath two-layer partial fat-tree",
+		Network:      "25 Gb/s Ethernet CX-4",
+		LocalSSDTB:   1,
+		LocalHDDTB:   3.8,
+		SharedSSDTB:  873,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes < 1:
+		return fmt.Errorf("cluster: need at least one node, got %d", c.Nodes)
+	case c.CoresPerNode < 1:
+		return fmt.Errorf("cluster: need at least one core per node, got %d", c.CoresPerNode)
+	case c.MemGBPerNode <= 0:
+		return fmt.Errorf("cluster: node memory must be positive, got %v", c.MemGBPerNode)
+	case c.GPUsPerNode < 0:
+		return fmt.Errorf("cluster: negative GPUs per node: %d", c.GPUsPerNode)
+	}
+	return nil
+}
+
+// TotalGPUs returns Nodes × GPUsPerNode.
+func (c Config) TotalGPUs() int { return c.Nodes * c.GPUsPerNode }
+
+// TotalCores returns Nodes × CoresPerNode.
+func (c Config) TotalCores() int { return c.Nodes * c.CoresPerNode }
+
+// Node is one compute node's live resource state.
+type Node struct {
+	Index     int
+	freeCores int
+	freeMemGB float64
+	devices   []*gpu.Device
+	exclusive int64 // job holding the node exclusively, or none
+}
+
+// noExclusive is the sentinel for Node.exclusive.
+const noExclusive int64 = -1
+
+// FreeCores returns the unallocated core count.
+func (n *Node) FreeCores() int { return n.freeCores }
+
+// FreeMemGB returns the unallocated memory.
+func (n *Node) FreeMemGB() float64 { return n.freeMemGB }
+
+// FreeGPUs returns the number of unallocated GPUs.
+func (n *Node) FreeGPUs() int {
+	k := 0
+	for _, d := range n.devices {
+		if d.Free() {
+			k++
+		}
+	}
+	return k
+}
+
+// Exclusive reports whether a job holds the node exclusively.
+func (n *Node) Exclusive() bool { return n.exclusive != noExclusive }
+
+// Cluster is the full machine. It is not safe for concurrent mutation; the
+// discrete-event scheduler drives it single-threaded, mirroring a Slurm
+// controller.
+type Cluster struct {
+	cfg   Config
+	nodes []*Node
+	// allocations tracks live grants by job ID so Release can be total.
+	allocations map[int64]*Allocation
+}
+
+// New builds a cluster from cfg.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, allocations: make(map[int64]*Allocation)}
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &Node{
+			Index:     i,
+			freeCores: cfg.CoresPerNode,
+			freeMemGB: cfg.MemGBPerNode,
+			exclusive: noExclusive,
+		}
+		for g := 0; g < cfg.GPUsPerNode; g++ {
+			n.devices = append(n.devices, gpu.NewDevice(gpu.DeviceID{Node: i, Index: g}, cfg.GPUSpec))
+		}
+		c.nodes = append(c.nodes, n)
+	}
+	return c, nil
+}
+
+// Config returns the cluster's configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Nodes returns the live node list (shared, not copied; callers must not
+// mutate).
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Request is a resource ask, in Slurm terms.
+type Request struct {
+	JobID int64
+	// GPUs requested across the whole job.
+	GPUs int
+	// CoresPerGPU is the host-CPU slice accompanying each GPU (GPU jobs
+	// "request fewer CPU cores and memory"; the paper's co-location insight).
+	// For CPU-only jobs, Cores below is used instead.
+	CoresPerGPU int
+	MemGBPerGPU float64
+	// Cores and MemGB are the totals for CPU-only jobs (GPUs == 0).
+	Cores int
+	MemGB float64
+	// Exclusive requests whole nodes (typical of the paper's CPU jobs, which
+	// "usually request all cores and full memory of the nodes").
+	Exclusive bool
+}
+
+// NodeShare is the slice of one node granted to a job.
+type NodeShare struct {
+	Node   int
+	Cores  int
+	MemGB  float64
+	GPUIDs []gpu.DeviceID
+}
+
+// Allocation is a granted request.
+type Allocation struct {
+	JobID  int64
+	Shares []NodeShare
+}
+
+// GPUs returns every granted device ID.
+func (a *Allocation) GPUs() []gpu.DeviceID {
+	var ids []gpu.DeviceID
+	for _, s := range a.Shares {
+		ids = append(ids, s.GPUIDs...)
+	}
+	return ids
+}
+
+// NodeSpan returns the number of distinct nodes in the allocation.
+func (a *Allocation) NodeSpan() int { return len(a.Shares) }
+
+// ErrInsufficient is returned by TryAllocate when the request cannot be
+// satisfied right now; the scheduler keeps the job queued.
+type ErrInsufficient struct{ Req Request }
+
+// Error implements error.
+func (e ErrInsufficient) Error() string {
+	return fmt.Sprintf("cluster: insufficient resources for job %d (gpus=%d cores=%d excl=%v)",
+		e.Req.JobID, e.Req.GPUs, e.Req.Cores, e.Req.Exclusive)
+}
+
+// TryAllocate attempts to grant req. GPU jobs are placed as densely as
+// possible — nodes with the most free GPUs first, then rack-adjacent nodes —
+// matching the paper's §V observation that multi-GPU jobs are "placed as
+// densely as possible, either on the same node or on neighboring nodes".
+// CPU-only exclusive jobs take whole free nodes. On success the allocation
+// is recorded and returned; on resource shortage it returns ErrInsufficient.
+func (c *Cluster) TryAllocate(req Request) (*Allocation, error) {
+	if _, dup := c.allocations[req.JobID]; dup {
+		return nil, fmt.Errorf("cluster: job %d already holds an allocation", req.JobID)
+	}
+	if req.GPUs < 0 || req.Cores < 0 || req.CoresPerGPU < 0 {
+		return nil, fmt.Errorf("cluster: negative resource in request %+v", req)
+	}
+	var alloc *Allocation
+	var err error
+	if req.GPUs > 0 {
+		alloc, err = c.allocateGPUJob(req)
+	} else if req.Exclusive {
+		alloc, err = c.allocateExclusiveCPUJob(req)
+	} else {
+		alloc, err = c.allocateSharedCPUJob(req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.allocations[req.JobID] = alloc
+	return alloc, nil
+}
+
+// allocateGPUJob grants a GPU job with dense placement.
+func (c *Cluster) allocateGPUJob(req Request) (*Allocation, error) {
+	type candidate struct {
+		node     *Node
+		freeGPUs int
+	}
+	var cands []candidate
+	totalFree := 0
+	for _, n := range c.nodes {
+		if n.Exclusive() {
+			continue
+		}
+		fg := n.FreeGPUs()
+		if fg == 0 {
+			continue
+		}
+		// The node must be able to host at least one GPU's CPU slice.
+		if n.freeCores < req.CoresPerGPU || n.freeMemGB < req.MemGBPerGPU {
+			continue
+		}
+		cands = append(cands, candidate{node: n, freeGPUs: fg})
+		totalFree += fg
+	}
+	if totalFree < req.GPUs {
+		return nil, ErrInsufficient{Req: req}
+	}
+	// Dense placement. If the whole job fits on one node, best-fit: prefer
+	// the fullest node that still fits, keeping whole nodes free for larger
+	// jobs. If the job must span nodes, widest-first: prefer nodes with the
+	// most free GPUs to minimize the span. Ties break toward lower index
+	// (rack adjacency via contiguous indices). Insertion-sort is fine:
+	// candidate lists are a few hundred entries.
+	fitsOneNode := false
+	for _, cand := range cands {
+		if cand.freeGPUs >= req.GPUs {
+			fitsOneNode = true
+			break
+		}
+	}
+	better := func(a, b candidate) bool {
+		if a.freeGPUs != b.freeGPUs {
+			if fitsOneNode {
+				// Best-fit: fewest free GPUs that still cover the request.
+				aFits, bFits := a.freeGPUs >= req.GPUs, b.freeGPUs >= req.GPUs
+				if aFits != bFits {
+					return aFits
+				}
+				return a.freeGPUs < b.freeGPUs
+			}
+			return a.freeGPUs > b.freeGPUs
+		}
+		return a.node.Index < b.node.Index
+	}
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && better(cands[j], cands[j-1]); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	alloc := &Allocation{JobID: req.JobID}
+	remaining := req.GPUs
+	for _, cand := range cands {
+		if remaining == 0 {
+			break
+		}
+		n := cand.node
+		take := remaining
+		if take > cand.freeGPUs {
+			take = cand.freeGPUs
+		}
+		// Respect the per-GPU CPU slice on this node.
+		maxByCores := take
+		if req.CoresPerGPU > 0 {
+			maxByCores = n.freeCores / req.CoresPerGPU
+		}
+		maxByMem := take
+		if req.MemGBPerGPU > 0 {
+			maxByMem = int(n.freeMemGB / req.MemGBPerGPU)
+		}
+		if take > maxByCores {
+			take = maxByCores
+		}
+		if take > maxByMem {
+			take = maxByMem
+		}
+		if take == 0 {
+			continue
+		}
+		share := NodeShare{Node: n.Index, Cores: take * req.CoresPerGPU, MemGB: float64(take) * req.MemGBPerGPU}
+		granted := 0
+		for _, d := range n.devices {
+			if granted == take {
+				break
+			}
+			if d.Free() {
+				if err := d.Allocate(req.JobID); err != nil {
+					return nil, err
+				}
+				share.GPUIDs = append(share.GPUIDs, d.ID)
+				granted++
+			}
+		}
+		n.freeCores -= share.Cores
+		n.freeMemGB -= share.MemGB
+		alloc.Shares = append(alloc.Shares, share)
+		remaining -= take
+	}
+	if remaining > 0 {
+		// Roll back partial grants; the per-node CPU constraints blocked us.
+		c.rollback(alloc)
+		return nil, ErrInsufficient{Req: req}
+	}
+	return alloc, nil
+}
+
+// allocateExclusiveCPUJob grants whole free nodes until cores are covered.
+func (c *Cluster) allocateExclusiveCPUJob(req Request) (*Allocation, error) {
+	nodesNeeded := (req.Cores + c.cfg.CoresPerNode - 1) / c.cfg.CoresPerNode
+	if nodesNeeded < 1 {
+		nodesNeeded = 1
+	}
+	var free []*Node
+	for _, n := range c.nodes {
+		if !n.Exclusive() && n.freeCores == c.cfg.CoresPerNode && n.FreeGPUs() == len(n.devices) {
+			free = append(free, n)
+			if len(free) == nodesNeeded {
+				break
+			}
+		}
+	}
+	if len(free) < nodesNeeded {
+		return nil, ErrInsufficient{Req: req}
+	}
+	alloc := &Allocation{JobID: req.JobID}
+	for _, n := range free {
+		n.exclusive = req.JobID
+		n.freeCores = 0
+		n.freeMemGB = 0
+		alloc.Shares = append(alloc.Shares, NodeShare{Node: n.Index, Cores: c.cfg.CoresPerNode, MemGB: c.cfg.MemGBPerNode})
+	}
+	return alloc, nil
+}
+
+// allocateSharedCPUJob grants core/memory slices on shared nodes, first-fit.
+func (c *Cluster) allocateSharedCPUJob(req Request) (*Allocation, error) {
+	alloc := &Allocation{JobID: req.JobID}
+	coresLeft, memLeft := req.Cores, req.MemGB
+	for _, n := range c.nodes {
+		if coresLeft <= 0 && memLeft <= 0 {
+			break
+		}
+		if n.Exclusive() || n.freeCores == 0 {
+			continue
+		}
+		takeCores := coresLeft
+		if takeCores > n.freeCores {
+			takeCores = n.freeCores
+		}
+		takeMem := memLeft
+		if takeMem > n.freeMemGB {
+			takeMem = n.freeMemGB
+		}
+		if takeCores <= 0 && takeMem <= 0 {
+			continue
+		}
+		if takeCores < 0 {
+			takeCores = 0
+		}
+		if takeMem < 0 {
+			takeMem = 0
+		}
+		n.freeCores -= takeCores
+		n.freeMemGB -= takeMem
+		alloc.Shares = append(alloc.Shares, NodeShare{Node: n.Index, Cores: takeCores, MemGB: takeMem})
+		coresLeft -= takeCores
+		memLeft -= takeMem
+	}
+	if coresLeft > 0 || memLeft > 0 {
+		c.rollback(alloc)
+		return nil, ErrInsufficient{Req: req}
+	}
+	return alloc, nil
+}
+
+// rollback returns a partially granted allocation's resources.
+func (c *Cluster) rollback(alloc *Allocation) {
+	for _, s := range alloc.Shares {
+		n := c.nodes[s.Node]
+		n.freeCores += s.Cores
+		n.freeMemGB += s.MemGB
+		for _, id := range s.GPUIDs {
+			// Best effort: the device was allocated moments ago.
+			_ = n.devices[id.Index].Release()
+		}
+	}
+	alloc.Shares = nil
+}
+
+// Release returns a job's resources. It errors if the job holds nothing —
+// a double release means the scheduler lost track of state.
+func (c *Cluster) Release(jobID int64) error {
+	alloc, ok := c.allocations[jobID]
+	if !ok {
+		return fmt.Errorf("cluster: job %d holds no allocation", jobID)
+	}
+	for _, s := range alloc.Shares {
+		n := c.nodes[s.Node]
+		if n.exclusive == jobID {
+			n.exclusive = noExclusive
+			n.freeCores = c.cfg.CoresPerNode
+			n.freeMemGB = c.cfg.MemGBPerNode
+			continue
+		}
+		n.freeCores += s.Cores
+		n.freeMemGB += s.MemGB
+		for _, id := range s.GPUIDs {
+			if err := n.devices[id.Index].Release(); err != nil {
+				return err
+			}
+		}
+	}
+	delete(c.allocations, jobID)
+	return nil
+}
+
+// Device returns the device with the given ID.
+func (c *Cluster) Device(id gpu.DeviceID) *gpu.Device {
+	return c.nodes[id.Node].devices[id.Index]
+}
+
+// FreeGPUs returns the cluster-wide count of unallocated GPUs.
+func (c *Cluster) FreeGPUs() int {
+	k := 0
+	for _, n := range c.nodes {
+		if !n.Exclusive() {
+			k += n.FreeGPUs()
+		}
+	}
+	return k
+}
+
+// LiveAllocations returns the number of outstanding allocations.
+func (c *Cluster) LiveAllocations() int { return len(c.allocations) }
+
+// CheckInvariants verifies resource conservation: free counts within bounds,
+// no device allocated to an unknown job, exclusive nodes fully drained. It
+// is called by tests and by the simulator in debug mode.
+func (c *Cluster) CheckInvariants() error {
+	for _, n := range c.nodes {
+		if n.freeCores < 0 || n.freeCores > c.cfg.CoresPerNode {
+			return fmt.Errorf("cluster: node %d free cores %d out of range", n.Index, n.freeCores)
+		}
+		if n.freeMemGB < -1e-9 || n.freeMemGB > c.cfg.MemGBPerNode+1e-9 {
+			return fmt.Errorf("cluster: node %d free mem %v out of range", n.Index, n.freeMemGB)
+		}
+		for _, d := range n.devices {
+			if d.Free() {
+				continue
+			}
+			if _, ok := c.allocations[d.AllocatedTo()]; !ok {
+				return fmt.Errorf("cluster: device %s allocated to unknown job %d", d.ID, d.AllocatedTo())
+			}
+		}
+		if n.Exclusive() && (n.freeCores != 0 || n.freeMemGB != 0) {
+			return fmt.Errorf("cluster: exclusive node %d not fully drained", n.Index)
+		}
+	}
+	return nil
+}

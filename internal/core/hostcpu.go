@@ -1,0 +1,39 @@
+package core
+
+import (
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// HostCPUResult supports the paper's §III scheduling rationale: "our system
+// administrators have determined that GPU jobs do not tend to have high CPU
+// resource requirements", the premise that makes CPU-slice co-location safe.
+type HostCPUResult struct {
+	// GPUJobs and CPUJobs are distributions of mean host-CPU utilization
+	// (percent of the job's requested cores).
+	GPUJobs CDFStat
+	CPUJobs CDFStat
+	// GPUJobsUnder50Frac is the share of GPU jobs using less than half of
+	// their (already small) host-core slice.
+	GPUJobsUnder50Frac float64
+}
+
+// HostCPU computes the host-CPU utilization comparison.
+func HostCPU(ds *trace.Dataset) HostCPUResult {
+	var gpuVals, cpuVals []float64
+	for i := range ds.Jobs {
+		j := &ds.Jobs[i]
+		if j.IsGPU() {
+			if j.RunSec >= trace.MinGPUJobRunSec {
+				gpuVals = append(gpuVals, j.HostCPU.Mean)
+			}
+		} else {
+			cpuVals = append(cpuVals, j.HostCPU.Mean)
+		}
+	}
+	return HostCPUResult{
+		GPUJobs:            NewCDFStat(gpuVals, curvePoints),
+		CPUJobs:            NewCDFStat(cpuVals, curvePoints),
+		GPUJobsUnder50Frac: stats.FractionBelow(gpuVals, 50),
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// activeSampleThresholdPct is the utilization above which a sample counts as
+// GPU activity; idle GPUs read 0 in nvidia-smi, so any compute or bandwidth
+// reading above noise means the GPU is in use.
+const activeSampleThresholdPct = 1.0
+
+// Interval is one contiguous active or idle stretch detected in a job's
+// time series.
+type Interval struct {
+	Active   bool
+	StartSec float64
+	DurSec   float64
+}
+
+// SegmentSeries turns a job's time series into alternating intervals: a
+// sample is active when any GPU shows SM or memory-bandwidth activity. This
+// is the segmentation behind Fig. 6.
+func SegmentSeries(ts *trace.TimeSeries) []Interval {
+	if ts == nil || len(ts.PerGPU) == 0 || len(ts.PerGPU[0]) == 0 {
+		return nil
+	}
+	n := len(ts.PerGPU[0])
+	var out []Interval
+	for k := 0; k < n; k++ {
+		active := false
+		for _, stream := range ts.PerGPU {
+			if k >= len(stream) {
+				continue
+			}
+			v := stream[k].Values
+			if v[metrics.SMUtil] > activeSampleThresholdPct || v[metrics.MemUtil] > activeSampleThresholdPct {
+				active = true
+				break
+			}
+		}
+		t := float64(k) * ts.IntervalSec
+		if len(out) > 0 && out[len(out)-1].Active == active {
+			out[len(out)-1].DurSec += ts.IntervalSec
+			continue
+		}
+		out = append(out, Interval{Active: active, StartSec: t, DurSec: ts.IntervalSec})
+	}
+	return out
+}
+
+// PhaseResult is Fig. 6: the distribution of active-time fractions (6a) and
+// of the CoV of interval lengths (6b) over the detailed-monitoring subset.
+type PhaseResult struct {
+	ActiveTimePct CDFStat // Fig. 6a, percent of run time spent active
+	IdleCoV       CDFStat // Fig. 6b, CoV of idle-interval lengths, percent
+	ActiveCoVLen  CDFStat // Fig. 6b, CoV of active-interval lengths, percent
+	JobsAnalyzed  int
+}
+
+// Phases computes Fig. 6 over the dataset's time-series subset.
+func Phases(ds *trace.Dataset) PhaseResult {
+	var activePct, idleCoVs, actCoVs []float64
+	for _, ts := range ds.Series {
+		iv := SegmentSeries(ts)
+		if len(iv) == 0 {
+			continue
+		}
+		var activeDur, totalDur float64
+		var idleLens, actLens []float64
+		for _, seg := range iv {
+			totalDur += seg.DurSec
+			if seg.Active {
+				activeDur += seg.DurSec
+				actLens = append(actLens, seg.DurSec)
+			} else {
+				idleLens = append(idleLens, seg.DurSec)
+			}
+		}
+		activePct = append(activePct, activeDur/totalDur*100)
+		if len(idleLens) >= 2 {
+			if c := stats.CoV(idleLens); !isNaN(c) {
+				idleCoVs = append(idleCoVs, c)
+			}
+		}
+		if len(actLens) >= 2 {
+			if c := stats.CoV(actLens); !isNaN(c) {
+				actCoVs = append(actCoVs, c)
+			}
+		}
+	}
+	return PhaseResult{
+		ActiveTimePct: NewCDFStat(activePct, curvePoints),
+		IdleCoV:       NewCDFStat(idleCoVs, curvePoints),
+		ActiveCoVLen:  NewCDFStat(actCoVs, curvePoints),
+		JobsAnalyzed:  len(activePct),
+	}
+}
+
+// ActiveVariabilityResult is Fig. 7a: the CoV of each utilization metric
+// across a job's active samples.
+type ActiveVariabilityResult struct {
+	SMCoV, MemCoV, MemSizeCoV CDFStat
+	// Over23Frac is the paper's "over 25 % of all jobs have SM utilization
+	// CoV of 23 % or higher during their active phases".
+	Over23Frac float64
+}
+
+// ActiveVariability computes Fig. 7a over the time-series subset.
+func ActiveVariability(ds *trace.Dataset) ActiveVariabilityResult {
+	var smC, memC, mszC []float64
+	for _, ts := range ds.Series {
+		var sm, mem, msz []float64
+		for _, stream := range ts.PerGPU {
+			for _, s := range stream {
+				if s.Values[metrics.SMUtil] > activeSampleThresholdPct ||
+					s.Values[metrics.MemUtil] > activeSampleThresholdPct {
+					sm = append(sm, s.Values[metrics.SMUtil])
+					mem = append(mem, s.Values[metrics.MemUtil])
+					msz = append(msz, s.Values[metrics.MemSize])
+				}
+			}
+		}
+		if len(sm) < 2 {
+			continue
+		}
+		if c := stats.CoV(sm); !isNaN(c) {
+			smC = append(smC, c)
+		}
+		if c := stats.CoV(mem); !isNaN(c) {
+			memC = append(memC, c)
+		}
+		if c := stats.CoV(msz); !isNaN(c) {
+			mszC = append(mszC, c)
+		}
+	}
+	return ActiveVariabilityResult{
+		SMCoV:      NewCDFStat(smC, curvePoints),
+		MemCoV:     NewCDFStat(memC, curvePoints),
+		MemSizeCoV: NewCDFStat(mszC, curvePoints),
+		Over23Frac: stats.FractionAbove(smC, 23),
+	}
+}
+
+// bottleneckThresholdPct: a job is bottlenecked on a metric when its
+// recorded maximum reaches the capacity (the paper's definition); 99 %
+// tolerates sampling discretization.
+const bottleneckThresholdPct = 99
+
+// BottleneckResult is Figs. 7b/8: per-resource and pairwise bottleneck
+// fractions over the full GPU-job population (max utilization is recorded
+// for every job, not only the detailed subset).
+type BottleneckResult struct {
+	// SingleFrac[m] is the fraction of jobs whose metric m hit capacity
+	// (Fig. 7b radar / Fig. 8a bars).
+	SingleFrac map[metrics.Metric]float64
+	// PairFrac[{a,b}] is the fraction bottlenecked on both a and b during
+	// the same run (Fig. 8b).
+	PairFrac map[[2]metrics.Metric]float64
+	// AnyTwoFrac is the fraction of jobs with two or more simultaneous
+	// bottlenecks (paper: < 10 %).
+	AnyTwoFrac float64
+	Jobs       int
+}
+
+// Bottlenecks computes Figs. 7b/8.
+func Bottlenecks(ds *trace.Dataset) BottleneckResult {
+	jobs := ds.GPUJobs()
+	r := BottleneckResult{
+		SingleFrac: map[metrics.Metric]float64{},
+		PairFrac:   map[[2]metrics.Metric]float64{},
+		Jobs:       len(jobs),
+	}
+	if len(jobs) == 0 {
+		return r
+	}
+	hit := func(j *trace.JobRecord, m metrics.Metric) bool {
+		if len(j.PerGPU) > 0 {
+			for _, g := range j.PerGPU {
+				if g[m].Max >= bottleneckThresholdPct {
+					return true
+				}
+			}
+			return false
+		}
+		return j.GPU[m].Max >= bottleneckThresholdPct
+	}
+	var anyTwo float64
+	for _, j := range jobs {
+		count := 0
+		var hits []metrics.Metric
+		for _, m := range metrics.BottleneckMetrics {
+			if hit(j, m) {
+				r.SingleFrac[m]++
+				hits = append(hits, m)
+				count++
+			}
+		}
+		for a := 0; a < len(hits); a++ {
+			for b := a + 1; b < len(hits); b++ {
+				key := [2]metrics.Metric{hits[a], hits[b]}
+				if key[0] > key[1] {
+					key[0], key[1] = key[1], key[0]
+				}
+				r.PairFrac[key]++
+			}
+		}
+		if count >= 2 {
+			anyTwo++
+		}
+	}
+	n := float64(len(jobs))
+	for m := range r.SingleFrac {
+		r.SingleFrac[m] /= n
+	}
+	for k := range r.PairFrac {
+		r.PairFrac[k] /= n
+	}
+	r.AnyTwoFrac = anyTwo / n
+	return r
+}

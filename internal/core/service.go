@@ -1,0 +1,96 @@
+package core
+
+import (
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// RuntimeResult is Fig. 3a: run-time CDFs of GPU and CPU jobs, in minutes.
+type RuntimeResult struct {
+	GPU CDFStat
+	CPU CDFStat
+}
+
+// Runtimes computes Fig. 3a.
+func Runtimes(ds *trace.Dataset) RuntimeResult {
+	return RuntimeResult{
+		GPU: NewCDFStat(trace.RunMinutes(ds.GPUJobs()), curvePoints),
+		CPU: NewCDFStat(trace.RunMinutes(ds.CPUJobs()), curvePoints),
+	}
+}
+
+// WaitResult is Fig. 3b plus §V's waits by job size: queue waits as raw
+// seconds and as percentages of service time.
+type WaitResult struct {
+	GPUWaitPct CDFStat // wait as % of service time, GPU jobs
+	CPUWaitPct CDFStat // wait as % of service time, CPU jobs
+
+	GPUWaitUnder1MinFrac float64 // "70 % of the GPU jobs spend less than one minute in the queue"
+	CPUWaitOver1MinFrac  float64 // "70 % of the CPU jobs spend more than one minute"
+	GPUWaitPctUnder2Frac float64 // ">50 % of the GPU jobs spend less than 2 % of their service times waiting"
+
+	// MedianWaitBySize indexes §V's size classes: 1 GPU, 2 GPUs, 3–8 GPUs,
+	// and 9+ GPUs; values are median waits in seconds.
+	MedianWaitBySize [4]float64
+}
+
+// SizeClass maps a GPU count onto §V's four size classes.
+func SizeClass(numGPUs int) int {
+	switch {
+	case numGPUs <= 1:
+		return 0
+	case numGPUs == 2:
+		return 1
+	case numGPUs <= 8:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// SizeClassLabel names a §V size class.
+func SizeClassLabel(class int) string {
+	return [...]string{"1 GPU", "2 GPUs", "3-8 GPUs", ">8 GPUs"}[class]
+}
+
+// Waits computes Fig. 3b and the §V wait-by-size medians.
+func Waits(ds *trace.Dataset) WaitResult {
+	gpuJobs, cpuJobs := ds.GPUJobs(), ds.CPUJobs()
+	var r WaitResult
+
+	gpuPct := make([]float64, len(gpuJobs))
+	var bySize [4][]float64
+	var gpuUnderMin, gpuUnder2 float64
+	for i, j := range gpuJobs {
+		gpuPct[i] = j.WaitFraction()
+		if j.WaitSec < 60 {
+			gpuUnderMin++
+		}
+		if j.WaitFraction() < 2 {
+			gpuUnder2++
+		}
+		c := SizeClass(j.NumGPUs)
+		bySize[c] = append(bySize[c], j.WaitSec)
+	}
+	cpuPct := make([]float64, len(cpuJobs))
+	var cpuOverMin float64
+	for i, j := range cpuJobs {
+		cpuPct[i] = j.WaitFraction()
+		if j.WaitSec > 60 {
+			cpuOverMin++
+		}
+	}
+	r.GPUWaitPct = NewCDFStat(gpuPct, curvePoints)
+	r.CPUWaitPct = NewCDFStat(cpuPct, curvePoints)
+	if n := float64(len(gpuJobs)); n > 0 {
+		r.GPUWaitUnder1MinFrac = gpuUnderMin / n
+		r.GPUWaitPctUnder2Frac = gpuUnder2 / n
+	}
+	if n := float64(len(cpuJobs)); n > 0 {
+		r.CPUWaitOver1MinFrac = cpuOverMin / n
+	}
+	for c := range bySize {
+		r.MedianWaitBySize[c] = stats.Median(bySize[c])
+	}
+	return r
+}

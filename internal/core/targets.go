@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// PaperTarget is one published statistic with its extractor, so the
+// reproduction gap can be computed mechanically from any report.
+type PaperTarget struct {
+	Figure   string
+	Quantity string
+	Paper    float64
+	// Band is the shape-match tolerance as [lo, hi] absolute bounds; a
+	// measured value inside the band counts as reproducing the finding.
+	BandLo, BandHi float64
+	// Extract pulls the measured value out of a report.
+	Extract func(*Report) float64
+}
+
+// Comparison is one evaluated target.
+type Comparison struct {
+	PaperTarget
+	Measured float64
+	InBand   bool
+}
+
+// PaperTargets returns the published-statistics table, the machine-readable
+// core of EXPERIMENTS.md. Bands are deliberately wide where the paper's own
+// numbers are internally constrained (see EXPERIMENTS.md "known deviations").
+func PaperTargets() []PaperTarget {
+	return []PaperTarget{
+		{"Fig3a", "GPU run median (min)", 30, 18, 45,
+			func(r *Report) float64 { return r.Runtimes.GPU.P50 }},
+		{"Fig3a", "GPU run p25 (min)", 4, 2, 10,
+			func(r *Report) float64 { return r.Runtimes.GPU.P25 }},
+		{"Fig3a", "GPU run p75 (min)", 300, 110, 450,
+			func(r *Report) float64 { return r.Runtimes.GPU.P75 }},
+		{"Fig3a", "CPU run median (min)", 8, 5, 13,
+			func(r *Report) float64 { return r.Runtimes.CPU.P50 }},
+		{"Fig3b", "GPU jobs waiting <1min (%)", 70, 60, 80,
+			func(r *Report) float64 { return r.Waits.GPUWaitUnder1MinFrac * 100 }},
+		{"Fig3b", "GPU jobs wait <2% of service (%)", 50, 45, 75,
+			func(r *Report) float64 { return r.Waits.GPUWaitPctUnder2Frac * 100 }},
+		{"Fig4a", "SM util median (%)", 16, 9, 22,
+			func(r *Report) float64 { return r.Utilization.SM.P50 }},
+		{"Fig4a", "mem util median (%)", 2, 0.5, 5,
+			func(r *Report) float64 { return r.Utilization.Mem.P50 }},
+		{"Fig4a", "mem size median (%)", 9, 5, 14,
+			func(r *Report) float64 { return r.Utilization.MemSize.P50 }},
+		{"Fig4a", "jobs >50% SM (%)", 20, 12, 28,
+			func(r *Report) float64 { return r.Utilization.SMOver50 * 100 }},
+		{"Fig4a", "jobs >50% mem (%)", 4, 0, 8,
+			func(r *Report) float64 { return r.Utilization.MemOver50 * 100 }},
+		{"Fig6a", "active time median (%)", 84, 65, 95,
+			func(r *Report) float64 { return r.Phases.ActiveTimePct.P50 }},
+		{"Fig6a", "active time p25 (%)", 14, 5, 35,
+			func(r *Report) float64 { return r.Phases.ActiveTimePct.P25 }},
+		{"Fig6b", "idle interval CoV median (%)", 126, 70, 190,
+			func(r *Report) float64 { return r.Phases.IdleCoV.P50 }},
+		{"Fig6b", "active interval CoV median (%)", 169, 90, 240,
+			func(r *Report) float64 { return r.Phases.ActiveCoVLen.P50 }},
+		{"Fig7a", "SM CoV median, active (%)", 14, 5, 40,
+			func(r *Report) float64 { return r.ActiveCoV.SMCoV.P50 }},
+		{"Fig7a", "mem CoV median, active (%)", 14.6, 5, 45,
+			func(r *Report) float64 { return r.ActiveCoV.MemCoV.P50 }},
+		{"Fig7a", "memsize CoV median, active (%)", 8.2, 2, 30,
+			func(r *Report) float64 { return r.ActiveCoV.MemSizeCoV.P50 }},
+		{"Fig7b", "SM bottleneck (%)", 22, 15, 30,
+			func(r *Report) float64 { return r.Bottlenecks.SingleFrac[metrics.SMUtil] * 100 }},
+		{"Fig7b", "mem bottleneck (%)", 0, 0, 2,
+			func(r *Report) float64 { return r.Bottlenecks.SingleFrac[metrics.MemUtil] * 100 }},
+		{"Fig8b", "SM+Rx bottleneck (%)", 9, 4, 15,
+			func(r *Report) float64 {
+				return r.Bottlenecks.PairFrac[[2]metrics.Metric{metrics.SMUtil, metrics.PCIeRx}] * 100
+			}},
+		{"Fig9a", "avg power median (W)", 45, 32, 62,
+			func(r *Report) float64 { return r.Power.Avg.P50 }},
+		{"Fig9a", "max power median (W)", 87, 60, 125,
+			func(r *Report) float64 { return r.Power.Max.P50 }},
+		{"Fig10", "user avg run median (min)", 392, 150, 700,
+			func(r *Report) float64 { return r.UserAverages.AvgRunMin.P50 }},
+		{"Fig10", "user avg SM median (%)", 10.75, 5, 19,
+			func(r *Report) float64 { return r.UserAverages.AvgSM.P50 }},
+		{"Fig11", "user run CoV median (%)", 155, 100, 230,
+			func(r *Report) float64 { return r.UserCoV.RunCoV.P50 }},
+		{"Fig11", "user SM CoV median (%)", 121, 70, 180,
+			func(r *Report) float64 { return r.UserCoV.SMCoV.P50 }},
+		{"Fig13", "single-GPU jobs (%)", 84, 78, 90,
+			func(r *Report) float64 { return r.GPUCounts.SingleGPUFrac * 100 }},
+		{"Fig13", "multi-GPU hour share (%)", 50, 35, 65,
+			func(r *Report) float64 { return r.GPUCounts.MultiGPUHourShare * 100 }},
+		{"SecV", "users with multi-GPU jobs (%)", 60, 45, 75,
+			func(r *Report) float64 { return r.Concentration.UsersWithMultiFrac * 100 }},
+		{"SecV", "users with >=9 GPU jobs (%)", 5.2, 2, 10,
+			func(r *Report) float64 { return r.Concentration.UsersWith9Frac * 100 }},
+		{"Fig14", "multi-GPU jobs half+ idle (%)", 40, 30, 55,
+			func(r *Report) float64 { return r.MultiGPU.HalfIdleJobFrac * 100 }},
+		{"Fig15a", "mature job share (%)", 60, 50, 70,
+			func(r *Report) float64 { return r.Lifecycle.JobShare[trace.Mature] * 100 }},
+		{"Fig15a", "exploratory job share (%)", 18, 12, 25,
+			func(r *Report) float64 { return r.Lifecycle.JobShare[trace.Exploratory] * 100 }},
+		{"Fig15a", "IDE job share (%)", 3.5, 2, 6,
+			func(r *Report) float64 { return r.Lifecycle.JobShare[trace.IDE] * 100 }},
+		{"Fig15b", "exploratory hour share (%)", 34, 20, 45,
+			func(r *Report) float64 { return r.Lifecycle.HourShare[trace.Exploratory] * 100 }},
+		{"Fig15b", "IDE hour share (%)", 18.2, 10, 28,
+			func(r *Report) float64 { return r.Lifecycle.HourShare[trace.IDE] * 100 }},
+		{"Fig16", "mature SM median (%)", 21, 10, 30,
+			func(r *Report) float64 { return r.Lifecycle.Boxes[trace.Mature][0].Median }},
+		{"Fig16", "IDE SM median (%)", 0, 0, 2,
+			func(r *Report) float64 { return r.Lifecycle.Boxes[trace.IDE][0].Median }},
+		{"Fig17a", "users <40% mature jobs (%)", 50, 30, 70,
+			func(r *Report) float64 { return r.UserMix.UsersUnder40PctMatureJobs * 100 }},
+		{"SecIV", "top-5% user job share (%)", 44, 30, 60,
+			func(r *Report) float64 { return r.Concentration.Top5PctShare * 100 }},
+		{"SecIV", "top-20% user job share (%)", 83.2, 70, 92,
+			func(r *Report) float64 { return r.Concentration.Top20PctShare * 100 }},
+	}
+}
+
+// ComparePaper evaluates every target against a report.
+func ComparePaper(r *Report) []Comparison {
+	targets := PaperTargets()
+	out := make([]Comparison, len(targets))
+	for i, t := range targets {
+		v := t.Extract(r)
+		out[i] = Comparison{
+			PaperTarget: t,
+			Measured:    v,
+			InBand:      !math.IsNaN(v) && v >= t.BandLo && v <= t.BandHi,
+		}
+	}
+	return out
+}

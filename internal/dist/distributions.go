@@ -1,0 +1,424 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sampler is a one-dimensional distribution that can draw variates from an
+// RNG stream. Implementations are immutable and safe for concurrent use with
+// distinct RNGs.
+type Sampler interface {
+	// Sample draws a single variate.
+	Sample(r *RNG) float64
+}
+
+// QuantileSampler is a Sampler that also exposes its inverse CDF. The
+// workload calibrator uses quantiles to verify that configured distributions
+// hit the paper's published percentiles before any data is generated.
+type QuantileSampler interface {
+	Sampler
+	// Quantile returns the value at probability p in [0, 1].
+	Quantile(p float64) float64
+}
+
+// ---------------------------------------------------------------------------
+// Uniform
+// ---------------------------------------------------------------------------
+
+// Uniform is the continuous uniform distribution on [Low, High].
+type Uniform struct {
+	Low, High float64
+}
+
+// Sample draws a uniform variate.
+func (u Uniform) Sample(r *RNG) float64 { return u.Low + (u.High-u.Low)*r.Float64() }
+
+// Quantile returns Low + p*(High-Low).
+func (u Uniform) Quantile(p float64) float64 { return u.Low + (u.High-u.Low)*clamp01(p) }
+
+// Mean returns the distribution mean.
+func (u Uniform) Mean() float64 { return (u.Low + u.High) / 2 }
+
+// ---------------------------------------------------------------------------
+// Lognormal
+// ---------------------------------------------------------------------------
+
+// Lognormal is the lognormal distribution: exp(N(Mu, Sigma²)). It is the
+// primary model for job run times: the paper's Fig. 3a run-time CDF spans
+// nearly four decades with a straight-ish middle on a log axis, the signature
+// of a lognormal body.
+type Lognormal struct {
+	Mu    float64 // mean of the underlying normal (log-space)
+	Sigma float64 // stddev of the underlying normal (log-space)
+}
+
+// LognormalFromMedianQuartile constructs a lognormal whose median equals
+// median and whose 75th percentile equals q75. This mirrors how the paper
+// reports run times (median plus quartiles), letting the calibration be
+// written directly in the paper's published numbers.
+func LognormalFromMedianQuartile(median, q75 float64) Lognormal {
+	if median <= 0 || q75 <= median {
+		panic(fmt.Sprintf("dist: invalid lognormal calibration median=%v q75=%v", median, q75))
+	}
+	// For lognormal: Q(p) = exp(mu + sigma*z_p); z_0.75 = 0.6744897501960817.
+	const z75 = 0.6744897501960817
+	mu := math.Log(median)
+	sigma := (math.Log(q75) - mu) / z75
+	return Lognormal{Mu: mu, Sigma: sigma}
+}
+
+// Sample draws a lognormal variate.
+func (l Lognormal) Sample(r *RNG) float64 {
+	return math.Exp(l.Mu + l.Sigma*r.NormFloat64())
+}
+
+// Quantile returns the inverse CDF at p.
+func (l Lognormal) Quantile(p float64) float64 {
+	return math.Exp(l.Mu + l.Sigma*NormQuantile(clamp01(p)))
+}
+
+// Median returns exp(Mu).
+func (l Lognormal) Median() float64 { return math.Exp(l.Mu) }
+
+// Mean returns exp(Mu + Sigma²/2).
+func (l Lognormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// ---------------------------------------------------------------------------
+// Exponential
+// ---------------------------------------------------------------------------
+
+// Exponential is the exponential distribution with the given Mean. It models
+// inter-arrival gaps and phase durations.
+type Exponential struct {
+	Mean float64
+}
+
+// Sample draws an exponential variate.
+func (e Exponential) Sample(r *RNG) float64 { return e.Mean * r.ExpFloat64() }
+
+// Quantile returns -Mean * ln(1-p).
+func (e Exponential) Quantile(p float64) float64 { return -e.Mean * math.Log(1-clamp01p(p)) }
+
+// ---------------------------------------------------------------------------
+// Bounded Pareto
+// ---------------------------------------------------------------------------
+
+// BoundedPareto is a Pareto distribution truncated to [Low, High] with shape
+// Alpha. It models per-user job counts: the paper reports that the top 5 % of
+// users submit 44 % of all jobs and the top 20 % submit 83.2 % — a classic
+// heavy-tailed concentration that a bounded Pareto reproduces while keeping
+// the maximum finite.
+type BoundedPareto struct {
+	Low, High float64
+	Alpha     float64
+}
+
+// Sample draws a bounded-Pareto variate by inverse transform.
+func (b BoundedPareto) Sample(r *RNG) float64 { return b.Quantile(r.Float64()) }
+
+// Quantile returns the inverse CDF at p.
+func (b BoundedPareto) Quantile(p float64) float64 {
+	p = clamp01(p)
+	la := math.Pow(b.Low, b.Alpha)
+	ha := math.Pow(b.High, b.Alpha)
+	// CDF(x) = (1 - L^a x^-a) / (1 - (L/H)^a)
+	x := math.Pow(-(p*ha-p*la-ha)/(la*ha), -1/b.Alpha)
+	if x < b.Low {
+		x = b.Low
+	}
+	if x > b.High {
+		x = b.High
+	}
+	return x
+}
+
+// ---------------------------------------------------------------------------
+// Triangular
+// ---------------------------------------------------------------------------
+
+// Triangular is the triangular distribution on [Low, High] with the given
+// Mode. It models bounded quantities with a soft peak, such as per-phase
+// utilization levels.
+type Triangular struct {
+	Low, Mode, High float64
+}
+
+// Sample draws a triangular variate by inverse transform.
+func (t Triangular) Sample(r *RNG) float64 { return t.Quantile(r.Float64()) }
+
+// Quantile returns the inverse CDF at p.
+func (t Triangular) Quantile(p float64) float64 {
+	p = clamp01(p)
+	span := t.High - t.Low
+	if span <= 0 {
+		return t.Low
+	}
+	fc := (t.Mode - t.Low) / span
+	if p < fc {
+		return t.Low + math.Sqrt(p*span*(t.Mode-t.Low))
+	}
+	return t.High - math.Sqrt((1-p)*span*(t.High-t.Mode))
+}
+
+// ---------------------------------------------------------------------------
+// Beta (via Jöhnk / gamma-ratio)
+// ---------------------------------------------------------------------------
+
+// Beta is the Beta(A, B) distribution on [0, 1]. It models utilization
+// fractions; its two shape parameters express both "piled near zero"
+// (development/IDE jobs) and "spread with a body" (mature jobs).
+type Beta struct {
+	A, B float64
+}
+
+// Sample draws a Beta variate as the normalized ratio of two gamma variates.
+func (b Beta) Sample(r *RNG) float64 {
+	x := sampleGamma(r, b.A)
+	y := sampleGamma(r, b.B)
+	if x+y == 0 {
+		return 0
+	}
+	return x / (x + y)
+}
+
+// sampleGamma draws from Gamma(shape, 1) using Marsaglia-Tsang for shape>=1
+// and the boost trick for shape<1.
+func sampleGamma(r *RNG, shape float64) float64 {
+	if shape <= 0 {
+		panic("dist: gamma shape must be positive")
+	}
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) * U^(1/a)
+		u := r.Float64Open()
+		return sampleGamma(r, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64Open()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Constant, Truncated, Mixture, Scaled
+// ---------------------------------------------------------------------------
+
+// Constant is a degenerate distribution that always returns Value.
+type Constant struct {
+	Value float64
+}
+
+// Sample returns the constant.
+func (c Constant) Sample(*RNG) float64 { return c.Value }
+
+// Quantile returns the constant for any p.
+func (c Constant) Quantile(float64) float64 { return c.Value }
+
+// Truncated clamps another sampler's output to [Low, High] by resampling up
+// to a bounded number of times and clamping afterwards. Resampling keeps the
+// interior shape; the final clamp guarantees termination.
+type Truncated struct {
+	Base      Sampler
+	Low, High float64
+}
+
+// Sample draws from Base, rejecting out-of-range variates.
+func (t Truncated) Sample(r *RNG) float64 {
+	const maxTries = 64
+	for i := 0; i < maxTries; i++ {
+		v := t.Base.Sample(r)
+		if v >= t.Low && v <= t.High {
+			return v
+		}
+	}
+	v := t.Base.Sample(r)
+	if v < t.Low {
+		return t.Low
+	}
+	if v > t.High {
+		return t.High
+	}
+	return v
+}
+
+// Component is one branch of a Mixture.
+type Component struct {
+	Weight float64
+	Dist   Sampler
+}
+
+// Mixture samples from one of its components with probability proportional
+// to the component weight. Mixtures let the calibration express "30 % of
+// jobs have near-zero SM utilization, the rest follow a body distribution"
+// exactly as the paper describes Fig. 4a.
+type Mixture struct {
+	components []Component
+	cum        []float64
+	total      float64
+}
+
+// NewMixture builds a mixture from components. It panics if no component has
+// positive weight, because a mixture that cannot sample is a configuration
+// bug, not a runtime condition.
+func NewMixture(components ...Component) *Mixture {
+	m := &Mixture{components: components}
+	for _, c := range components {
+		if c.Weight < 0 {
+			panic("dist: negative mixture weight")
+		}
+		m.total += c.Weight
+		m.cum = append(m.cum, m.total)
+	}
+	if m.total <= 0 {
+		panic("dist: mixture has no positive-weight component")
+	}
+	return m
+}
+
+// Sample picks a component by weight and samples it.
+func (m *Mixture) Sample(r *RNG) float64 {
+	u := r.Float64() * m.total
+	i := sort.SearchFloat64s(m.cum, u)
+	if i >= len(m.components) {
+		i = len(m.components) - 1
+	}
+	return m.components[i].Dist.Sample(r)
+}
+
+// Scaled multiplies a base sampler's output by Factor and adds Offset.
+type Scaled struct {
+	Base   Sampler
+	Factor float64
+	Offset float64
+}
+
+// Sample returns Offset + Factor*Base.Sample(r).
+func (s Scaled) Sample(r *RNG) float64 { return s.Offset + s.Factor*s.Base.Sample(r) }
+
+// ---------------------------------------------------------------------------
+// Categorical
+// ---------------------------------------------------------------------------
+
+// Categorical draws integer category indices with configured weights. It
+// backs every "fraction of jobs are X" statement in the calibration (job
+// categories, submission interfaces, GPU counts).
+type Categorical struct {
+	weights []float64
+	cum     []float64
+	total   float64
+}
+
+// NewCategorical builds a categorical distribution over len(weights)
+// categories. It panics on negative weights or an all-zero weight vector.
+func NewCategorical(weights ...float64) *Categorical {
+	c := &Categorical{weights: append([]float64(nil), weights...)}
+	for _, w := range weights {
+		if w < 0 {
+			panic("dist: negative categorical weight")
+		}
+		c.total += w
+		c.cum = append(c.cum, c.total)
+	}
+	if c.total <= 0 {
+		panic("dist: categorical has zero total weight")
+	}
+	return c
+}
+
+// Draw returns a category index in [0, len(weights)).
+func (c *Categorical) Draw(r *RNG) int {
+	u := r.Float64() * c.total
+	i := sort.SearchFloat64s(c.cum, u)
+	if i >= len(c.weights) {
+		i = len(c.weights) - 1
+	}
+	return i
+}
+
+// Prob returns the normalized probability of category i.
+func (c *Categorical) Prob(i int) float64 { return c.weights[i] / c.total }
+
+// Len returns the number of categories.
+func (c *Categorical) Len() int { return len(c.weights) }
+
+// ---------------------------------------------------------------------------
+// Normal quantile (Acklam's inverse-CDF approximation)
+// ---------------------------------------------------------------------------
+
+// NormQuantile returns the standard normal inverse CDF at p using Peter
+// Acklam's rational approximation (relative error < 1.15e-9), sufficient for
+// calibration and for Spearman p-values.
+func NormQuantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return math.Inf(-1)
+	case p >= 1:
+		return math.Inf(1)
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const pLow, pHigh = 0.02425, 1 - 0.02425
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		t := q * q
+		x = (((((a[0]*t+a[1])*t+a[2])*t+a[3])*t+a[4])*t + a[5]) * q /
+			(((((b[0]*t+b[1])*t+b[2])*t+b[3])*t+b[4])*t + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	return x
+}
+
+// NormCDF returns the standard normal CDF at x.
+func NormCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// clamp01p clamps to [0, 1) so that log(1-p) stays finite.
+func clamp01p(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Nextafter(1, 0)
+	}
+	return p
+}

@@ -1,0 +1,77 @@
+// Package lifecycle implements the paper's §VI contribution: classifying
+// jobs by their position in the algorithm-development life-cycle from
+// observable scheduler facts alone. Mature jobs complete with a zero exit
+// code; exploratory jobs are killed by their user mid-flight (abandoned
+// hyper-parameter settings); IDE jobs are interactive sessions that ride
+// their wall-clock limit into a timeout; development jobs crash, or time out
+// non-interactively while under debug.
+package lifecycle
+
+import "repro/internal/trace"
+
+// Classify returns the life-cycle category of a job record. The mapping is
+// total: every (exit status, interface) combination has a category.
+func Classify(j *trace.JobRecord) trace.Category {
+	switch j.Exit {
+	case trace.ExitSuccess:
+		return trace.Mature
+	case trace.ExitCancelled:
+		return trace.Exploratory
+	case trace.ExitTimeout:
+		if j.Interface == trace.Interactive {
+			return trace.IDE
+		}
+		return trace.Development
+	default: // ExitFailed and anything unknown: code still under debug
+		return trace.Development
+	}
+}
+
+// Breakdown is the per-category tally of a job population (Fig. 15).
+type Breakdown struct {
+	Jobs          [trace.NumCategories]int
+	GPUHours      [trace.NumCategories]float64
+	Total         int
+	TotalGPUHours float64
+}
+
+// Account classifies every job and accumulates counts and GPU hours.
+func Account(jobs []*trace.JobRecord) Breakdown {
+	var b Breakdown
+	for _, j := range jobs {
+		c := Classify(j)
+		b.Jobs[c]++
+		h := j.GPUHours()
+		b.GPUHours[c] += h
+		b.Total++
+		b.TotalGPUHours += h
+	}
+	return b
+}
+
+// JobShare returns category c's fraction of jobs, or 0 for an empty
+// population.
+func (b Breakdown) JobShare(c trace.Category) float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	return float64(b.Jobs[c]) / float64(b.Total)
+}
+
+// HourShare returns category c's fraction of GPU hours.
+func (b Breakdown) HourShare(c trace.Category) float64 {
+	if b.TotalGPUHours == 0 {
+		return 0
+	}
+	return b.GPUHours[c] / b.TotalGPUHours
+}
+
+// GroupByCategory splits a job population by classified category.
+func GroupByCategory(jobs []*trace.JobRecord) [trace.NumCategories][]*trace.JobRecord {
+	var out [trace.NumCategories][]*trace.JobRecord
+	for _, j := range jobs {
+		c := Classify(j)
+		out[c] = append(out[c], j)
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package lifecycle
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func rec(exit trace.ExitStatus, iface trace.Interface, gpus int, runSec float64) *trace.JobRecord {
+	return &trace.JobRecord{Exit: exit, Interface: iface, NumGPUs: gpus, RunSec: runSec}
+}
+
+func TestClassifyMapping(t *testing.T) {
+	cases := []struct {
+		exit  trace.ExitStatus
+		iface trace.Interface
+		want  trace.Category
+	}{
+		{trace.ExitSuccess, trace.Other, trace.Mature},
+		{trace.ExitSuccess, trace.Interactive, trace.Mature},
+		{trace.ExitCancelled, trace.Batch, trace.Exploratory},
+		{trace.ExitCancelled, trace.Interactive, trace.Exploratory},
+		{trace.ExitTimeout, trace.Interactive, trace.IDE},
+		{trace.ExitTimeout, trace.Batch, trace.Development},
+		{trace.ExitTimeout, trace.Other, trace.Development},
+		{trace.ExitFailed, trace.Other, trace.Development},
+		{trace.ExitFailed, trace.MapReduce, trace.Development},
+	}
+	for _, c := range cases {
+		if got := Classify(rec(c.exit, c.iface, 1, 60)); got != c.want {
+			t.Errorf("Classify(%v, %v) = %v, want %v", c.exit, c.iface, got, c.want)
+		}
+	}
+}
+
+// Property: the classifier is total — any combination yields a valid
+// category.
+func TestClassifyTotalProperty(t *testing.T) {
+	f := func(exit uint8, iface uint8) bool {
+		j := rec(trace.ExitStatus(exit%8), trace.Interface(iface%8), 1, 1)
+		c := Classify(j)
+		return c >= 0 && c < trace.NumCategories
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccount(t *testing.T) {
+	jobs := []*trace.JobRecord{
+		rec(trace.ExitSuccess, trace.Other, 1, 3600),        // mature, 1 GPUh
+		rec(trace.ExitSuccess, trace.Other, 2, 3600),        // mature, 2 GPUh
+		rec(trace.ExitCancelled, trace.Other, 1, 7200),      // exploratory, 2 GPUh
+		rec(trace.ExitTimeout, trace.Interactive, 1, 43200), // IDE, 12 GPUh
+		rec(trace.ExitFailed, trace.Batch, 1, 1800),         // development, 0.5 GPUh
+	}
+	b := Account(jobs)
+	if b.Total != 5 {
+		t.Fatalf("total = %d", b.Total)
+	}
+	if b.Jobs[trace.Mature] != 2 || b.Jobs[trace.IDE] != 1 {
+		t.Fatalf("jobs = %v", b.Jobs)
+	}
+	if b.JobShare(trace.Mature) != 0.4 {
+		t.Fatalf("mature share = %v", b.JobShare(trace.Mature))
+	}
+	wantTotal := 1.0 + 2 + 2 + 12 + 0.5
+	if b.TotalGPUHours != wantTotal {
+		t.Fatalf("total hours = %v", b.TotalGPUHours)
+	}
+	if got := b.HourShare(trace.IDE); got != 12/wantTotal {
+		t.Fatalf("IDE hour share = %v", got)
+	}
+}
+
+func TestAccountEmpty(t *testing.T) {
+	b := Account(nil)
+	if b.JobShare(trace.Mature) != 0 || b.HourShare(trace.IDE) != 0 {
+		t.Fatal("empty breakdown shares not zero")
+	}
+}
+
+func TestGroupByCategory(t *testing.T) {
+	jobs := []*trace.JobRecord{
+		rec(trace.ExitSuccess, trace.Other, 1, 60),
+		rec(trace.ExitFailed, trace.Other, 1, 60),
+		rec(trace.ExitFailed, trace.Batch, 1, 60),
+	}
+	g := GroupByCategory(jobs)
+	if len(g[trace.Mature]) != 1 || len(g[trace.Development]) != 2 {
+		t.Fatalf("groups: mature=%d dev=%d", len(g[trace.Mature]), len(g[trace.Development]))
+	}
+}
+
+// Property: Account conserves jobs and hours across categories.
+func TestAccountConservationProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var jobs []*trace.JobRecord
+		for _, v := range raw {
+			jobs = append(jobs, rec(trace.ExitStatus(v%4), trace.Interface(v/4%4), int(v%3)+1, float64(v)*10))
+		}
+		b := Account(jobs)
+		if b.Total != len(jobs) {
+			return false
+		}
+		sumJobs := 0
+		var sumHours float64
+		for c := trace.Category(0); c < trace.NumCategories; c++ {
+			sumJobs += b.Jobs[c]
+			sumHours += b.GPUHours[c]
+		}
+		return sumJobs == b.Total && sumHours-b.TotalGPUHours < 1e-9 && b.TotalGPUHours-sumHours < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

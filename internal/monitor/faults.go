@@ -1,0 +1,76 @@
+package monitor
+
+import "repro/internal/dist"
+
+// Fault models a misbehaving monitoring node — the paper's operations
+// section reports that vendor logging tools "can interfere, creating load
+// imbalance among the processes of the same job due to the potential
+// malfunction of one of the nodes". A fault drops a share of samples and
+// perturbs the rest.
+type Fault struct {
+	// DropRate is the probability an individual sample is lost.
+	DropRate float64
+	// JitterFactor multiplies observation noise on surviving samples (1 =
+	// nominal, 3 = badly mis-calibrated collector).
+	JitterFactor float64
+	// StallProb is the probability an entire job's collection silently
+	// produces nothing (prolog launched, collector wedged) — the failure
+	// mode that forces epilogs to tolerate empty digests.
+	StallProb float64
+}
+
+// FaultPlan assigns faults to nodes.
+type FaultPlan map[int]Fault
+
+// InjectFaults installs the plan on the pipeline. It may be called before
+// any prolog; installing mid-run affects only subsequently created monitors.
+func (p *Pipeline) InjectFaults(plan FaultPlan) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.faults = make(FaultPlan, len(plan))
+	for n, f := range plan {
+		p.faults[n] = f
+	}
+}
+
+// faultFor returns the active fault for a node, if any.
+func (p *Pipeline) faultFor(node int) (Fault, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.faults[node]
+	return f, ok
+}
+
+// DroppedSamples reports the cluster-wide count of samples lost to faults.
+func (p *Pipeline) DroppedSamples() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped
+}
+
+// StalledJobs reports how many jobs produced no samples because their
+// collector stalled.
+func (p *Pipeline) StalledJobs() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stalled
+}
+
+// recordFaultEffects folds a finished monitor's fault accounting into the
+// pipeline. Called with p.mu held by Epilog.
+func (p *Pipeline) recordFaultEffects(m *JobMonitor) {
+	p.dropped += m.droppedSamples
+	if m.stalled {
+		p.stalled++
+	}
+}
+
+// applyFault configures a monitor according to its node's fault, deriving a
+// deterministic per-job fault stream.
+func (m *JobMonitor) applyFault(f Fault, seed uint64) {
+	m.fault = f
+	m.faultRNG = dist.New(seed ^ 0xFEEDFACECAFEBEEF ^ uint64(m.JobID)*0x9E3779B97F4A7C15)
+	if f.StallProb > 0 && m.faultRNG.Bool(f.StallProb) {
+		m.stalled = true
+	}
+}

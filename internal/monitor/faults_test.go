@@ -1,0 +1,104 @@
+package monitor
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/metrics"
+)
+
+func TestFaultDropsSamples(t *testing.T) {
+	p := newTestPipeline(t, DefaultConfig())
+	p.InjectFaults(FaultPlan{3: {DropRate: 0.5}})
+	prof := testProfile(t, 1000, 1, 40)
+	m := p.Prolog(1, 3, gpu.V100(), gpu.DefaultPowerModel(), []Source{prof}, false)
+	if err := p.Epilog(m); err != nil {
+		t.Fatal(err)
+	}
+	dropped := p.DroppedSamples()
+	if dropped < 300 || dropped > 700 {
+		t.Fatalf("dropped = %d of 1000, want ~500", dropped)
+	}
+	// Surviving samples still produce a sane digest.
+	s := p.Summaries(1)
+	if got := s[0][metrics.SMUtil].Mean; got < 35 || got > 45 {
+		t.Fatalf("mean SM under drops = %v, want ~40", got)
+	}
+}
+
+func TestFaultHealthyNodesUnaffected(t *testing.T) {
+	p := newTestPipeline(t, DefaultConfig())
+	p.InjectFaults(FaultPlan{3: {DropRate: 0.9, StallProb: 1}})
+	prof := testProfile(t, 500, 1, 40)
+	m := p.Prolog(1, 0, gpu.V100(), gpu.DefaultPowerModel(), []Source{prof}, false) // node 0: healthy
+	if err := p.Epilog(m); err != nil {
+		t.Fatal(err)
+	}
+	if p.DroppedSamples() != 0 || p.StalledJobs() != 0 {
+		t.Fatal("healthy node suffered fault effects")
+	}
+	if s := p.Summaries(1); s[0][metrics.SMUtil].Mean < 35 {
+		t.Fatalf("healthy digest wrong: %+v", s[0][metrics.SMUtil])
+	}
+}
+
+func TestFaultStalledCollector(t *testing.T) {
+	p := newTestPipeline(t, DefaultConfig())
+	p.InjectFaults(FaultPlan{5: {StallProb: 1}})
+	prof := testProfile(t, 500, 1, 40)
+	m := p.Prolog(9, 5, gpu.V100(), gpu.DefaultPowerModel(), []Source{prof}, false)
+	if err := p.Epilog(m); err != nil {
+		t.Fatal(err)
+	}
+	if p.StalledJobs() != 1 {
+		t.Fatalf("stalled = %d", p.StalledJobs())
+	}
+	// No data recorded: zero-valued digest, not NaN.
+	s := p.Summaries(9)
+	rec := s[0][metrics.SMUtil]
+	if rec.Min != 0 || rec.Mean != 0 || rec.Max != 0 {
+		t.Fatalf("stalled digest = %+v, want zeros", rec)
+	}
+	if !rec.Valid() {
+		t.Fatal("zero digest should validate")
+	}
+}
+
+func TestFaultJitterWidensSpread(t *testing.T) {
+	run := func(jitter float64) float64 {
+		p := newTestPipeline(t, DefaultConfig())
+		if jitter > 0 {
+			p.InjectFaults(FaultPlan{0: {JitterFactor: jitter}})
+		}
+		prof := testProfile(t, 2000, 1, 50)
+		m := p.Prolog(1, 0, gpu.V100(), gpu.DefaultPowerModel(), []Source{prof}, false)
+		if err := p.Epilog(m); err != nil {
+			t.Fatal(err)
+		}
+		s := p.Summaries(1)
+		return s[0][metrics.SMUtil].Max - s[0][metrics.SMUtil].Min
+	}
+	clean := run(0)
+	noisy := run(4)
+	if noisy <= clean {
+		t.Fatalf("jitter did not widen observed range: clean %v vs noisy %v", clean, noisy)
+	}
+}
+
+func TestFaultDeterminism(t *testing.T) {
+	run := func() (int64, float64) {
+		p := newTestPipeline(t, DefaultConfig())
+		p.InjectFaults(FaultPlan{2: {DropRate: 0.3, JitterFactor: 2}})
+		prof := testProfile(t, 800, 0.7, 45)
+		m := p.Prolog(4, 2, gpu.V100(), gpu.DefaultPowerModel(), []Source{prof}, false)
+		if err := p.Epilog(m); err != nil {
+			t.Fatal(err)
+		}
+		return p.DroppedSamples(), p.Summaries(4)[0][metrics.SMUtil].Mean
+	}
+	d1, m1 := run()
+	d2, m2 := run()
+	if d1 != d2 || m1 != m2 {
+		t.Fatalf("fault injection not deterministic: (%d,%v) vs (%d,%v)", d1, m1, d2, m2)
+	}
+}

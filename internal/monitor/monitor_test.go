@@ -1,0 +1,195 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func testProfile(t *testing.T, dur, activeFrac, sm float64) *workload.Profile {
+	t.Helper()
+	phases := []workload.Phase{}
+	idle := dur * (1 - activeFrac)
+	if idle > 0 {
+		phases = append(phases, workload.Phase{DurSec: idle, Active: false, Level: gpu.Utilization{MemSizePct: 10}})
+	}
+	if dur-idle > 0 {
+		phases = append(phases, workload.Phase{DurSec: dur - idle, Active: true,
+			Level: gpu.Utilization{SMPct: sm, MemPct: sm / 5, MemSizePct: 10, PCIeTxPct: 20, PCIeRxPct: 30}})
+	}
+	p, err := workload.NewProfile(phases, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func newTestPipeline(t *testing.T, cfg Config) *Pipeline {
+	t.Helper()
+	p, err := NewPipeline(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewPipeline(Config{GPUIntervalSec: 0, CPUIntervalSec: 10}, 1); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if _, err := NewPipeline(DefaultConfig(), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonitorSummariesMatchProfile(t *testing.T) {
+	p := newTestPipeline(t, DefaultConfig())
+	prof := testProfile(t, 1000, 0.6, 50)
+	m := p.Prolog(1, 0, gpu.V100(), gpu.DefaultPowerModel(), []Source{prof}, false)
+	if err := p.Epilog(m); err != nil {
+		t.Fatal(err)
+	}
+	got := p.Summaries(1)
+	if len(got) != 1 {
+		t.Fatalf("summaries for %d GPUs", len(got))
+	}
+	want := prof.Summaries(gpu.V100(), gpu.DefaultPowerModel())
+	for _, mi := range []metrics.Metric{metrics.SMUtil, metrics.MemUtil, metrics.Power} {
+		if math.Abs(got[0][mi].Mean-want[mi].Mean) > 0.05*want[mi].Mean+0.5 {
+			t.Fatalf("metric %v: sampled mean %v vs analytic %v", mi, got[0][mi].Mean, want[mi].Mean)
+		}
+		if !got[0][mi].Valid() {
+			t.Fatalf("metric %v summary invalid: %+v", mi, got[0][mi])
+		}
+	}
+	// Min must see the idle phase.
+	if got[0][metrics.SMUtil].Min != 0 {
+		t.Fatalf("SM min = %v, want 0", got[0][metrics.SMUtil].Min)
+	}
+}
+
+func TestMultiGPUJobMonitored(t *testing.T) {
+	p := newTestPipeline(t, DefaultConfig())
+	sources := []Source{
+		testProfile(t, 500, 0.8, 60),
+		testProfile(t, 500, 0, 0), // idle GPU (the Fig. 14 pathology)
+	}
+	m := p.Prolog(2, 3, gpu.V100(), gpu.DefaultPowerModel(), sources, false)
+	if err := p.Epilog(m); err != nil {
+		t.Fatal(err)
+	}
+	got := p.Summaries(2)
+	if len(got) != 2 {
+		t.Fatalf("got %d GPU summaries", len(got))
+	}
+	if got[1][metrics.SMUtil].Max != 0 {
+		t.Fatalf("idle GPU shows SM activity: %+v", got[1][metrics.SMUtil])
+	}
+	if got[0][metrics.SMUtil].Mean < 30 {
+		t.Fatalf("active GPU mean SM = %v", got[0][metrics.SMUtil].Mean)
+	}
+}
+
+func TestSeriesRetention(t *testing.T) {
+	cfg := DefaultConfig()
+	p := newTestPipeline(t, cfg)
+	prof := testProfile(t, 300, 1, 40)
+	m := p.Prolog(5, 0, gpu.V100(), gpu.DefaultPowerModel(), []Source{prof}, true)
+	if err := p.Epilog(m); err != nil {
+		t.Fatal(err)
+	}
+	ts := p.Series(5)
+	if ts == nil {
+		t.Fatal("series not retained")
+	}
+	if len(ts.PerGPU) != 1 || len(ts.PerGPU[0]) != 300 {
+		t.Fatalf("series shape: %d GPUs × %d samples", len(ts.PerGPU), len(ts.PerGPU[0]))
+	}
+	// Non-detailed job retains nothing.
+	m2 := p.Prolog(6, 0, gpu.V100(), gpu.DefaultPowerModel(), []Source{prof}, false)
+	if err := p.Epilog(m2); err != nil {
+		t.Fatal(err)
+	}
+	if p.Series(6) != nil {
+		t.Fatal("series retained for non-detailed job")
+	}
+}
+
+func TestSeriesCadenceStretchesForLongJobs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxSamplesPerGPU = 100
+	p := newTestPipeline(t, cfg)
+	prof := testProfile(t, 10000, 1, 30)
+	m := p.Prolog(7, 0, gpu.V100(), gpu.DefaultPowerModel(), []Source{prof}, true)
+	if err := p.Epilog(m); err != nil {
+		t.Fatal(err)
+	}
+	ts := p.Series(7)
+	if got := len(ts.PerGPU[0]); got > 100 {
+		t.Fatalf("series has %d samples, cap 100", got)
+	}
+	if ts.IntervalSec < 99 {
+		t.Fatalf("interval = %v, want ~100", ts.IntervalSec)
+	}
+}
+
+func TestEpilogDuplicateRejected(t *testing.T) {
+	p := newTestPipeline(t, DefaultConfig())
+	prof := testProfile(t, 100, 1, 10)
+	m := p.Prolog(9, 0, gpu.V100(), gpu.DefaultPowerModel(), []Source{prof}, false)
+	if err := p.Epilog(m); err != nil {
+		t.Fatal(err)
+	}
+	m2 := p.Prolog(9, 0, gpu.V100(), gpu.DefaultPowerModel(), []Source{prof}, false)
+	if err := p.Epilog(m2); err == nil {
+		t.Fatal("duplicate epilog accepted")
+	}
+}
+
+func TestJobIDsSorted(t *testing.T) {
+	p := newTestPipeline(t, DefaultConfig())
+	prof := testProfile(t, 50, 1, 10)
+	for _, id := range []int64{5, 1, 3} {
+		m := p.Prolog(id, 0, gpu.V100(), gpu.DefaultPowerModel(), []Source{prof}, false)
+		if err := p.Epilog(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := p.JobIDs()
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 3 || ids[2] != 5 {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestNodeBufferOverflowDetection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NodeBufferBytes = 100 // absurdly small: every detailed job overflows
+	p := newTestPipeline(t, cfg)
+	prof := testProfile(t, 1000, 1, 10)
+	m := p.Prolog(1, 0, gpu.V100(), gpu.DefaultPowerModel(), []Source{prof}, true)
+	if err := p.Epilog(m); err != nil {
+		t.Fatal(err)
+	}
+	if p.Overflows() != 1 {
+		t.Fatalf("overflows = %d, want 1", p.Overflows())
+	}
+}
+
+func TestMonitorDeterminism(t *testing.T) {
+	run := func() []metrics.MetricSummaries {
+		p := newTestPipeline(t, DefaultConfig())
+		prof := testProfile(t, 400, 0.7, 45)
+		m := p.Prolog(1, 0, gpu.V100(), gpu.DefaultPowerModel(), []Source{prof}, false)
+		if err := p.Epilog(m); err != nil {
+			t.Fatal(err)
+		}
+		return p.Summaries(1)
+	}
+	a, b := run(), run()
+	if a[0] != b[0] {
+		t.Fatal("monitoring is not deterministic for a fixed seed")
+	}
+}

@@ -1,0 +1,138 @@
+package predict
+
+import (
+	"math"
+	"sort"
+)
+
+// P2Quantile is the Jain–Chlamtac P² streaming quantile estimator: it tracks
+// an arbitrary quantile in O(1) memory using five markers, accurate to a few
+// percent on smooth distributions — the right tool for a scheduler-side
+// predictor that cannot buffer histories.
+type P2Quantile struct {
+	p       float64
+	n       int
+	heights [5]float64
+	pos     [5]float64
+	want    [5]float64
+	inc     [5]float64
+	init    []float64
+}
+
+// NewP2Quantile tracks the p-quantile (p in (0,1)).
+func NewP2Quantile(p float64) P2Quantile {
+	if p <= 0 {
+		p = 0.01
+	}
+	if p >= 1 {
+		p = 0.99
+	}
+	q := P2Quantile{p: p}
+	q.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	q.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return q
+}
+
+// Add folds one observation into the estimator.
+func (q *P2Quantile) Add(x float64) {
+	if q.n < 5 {
+		q.init = append(q.init, x)
+		q.n++
+		if q.n == 5 {
+			sort.Float64s(q.init)
+			copy(q.heights[:], q.init)
+			q.pos = [5]float64{1, 2, 3, 4, 5}
+			q.init = nil
+		}
+		return
+	}
+	q.n++
+	// Find the cell k containing x and update extreme markers.
+	var k int
+	switch {
+	case x < q.heights[0]:
+		q.heights[0] = x
+		k = 0
+	case x >= q.heights[4]:
+		q.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < q.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		q.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		q.want[i] += q.inc[i]
+	}
+	// Adjust interior markers with parabolic interpolation.
+	for i := 1; i <= 3; i++ {
+		d := q.want[i] - q.pos[i]
+		if (d >= 1 && q.pos[i+1]-q.pos[i] > 1) || (d <= -1 && q.pos[i-1]-q.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := q.parabolic(i, sign)
+			if !(q.heights[i-1] < h && h < q.heights[i+1]) || math.IsNaN(h) || math.IsInf(h, 0) {
+				h = q.linear(i, sign)
+			}
+			if !math.IsNaN(h) && !math.IsInf(h, 0) {
+				q.heights[i] = h
+			}
+			q.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic marker move.
+func (q *P2Quantile) parabolic(i int, d float64) float64 {
+	return q.heights[i] + d/(q.pos[i+1]-q.pos[i-1])*
+		((q.pos[i]-q.pos[i-1]+d)*(q.heights[i+1]-q.heights[i])/(q.pos[i+1]-q.pos[i])+
+			(q.pos[i+1]-q.pos[i]-d)*(q.heights[i]-q.heights[i-1])/(q.pos[i]-q.pos[i-1]))
+}
+
+// linear is the fallback marker move.
+func (q *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return q.heights[i] + d*(q.heights[j]-q.heights[i])/(q.pos[j]-q.pos[i])
+}
+
+// Value returns the current estimate and whether enough data has arrived.
+func (q *P2Quantile) Value() (float64, bool) {
+	switch {
+	case q.n == 0:
+		return 0, false
+	case q.n < 5:
+		// Exact small-sample quantile.
+		s := append([]float64(nil), q.init...)
+		sort.Float64s(s)
+		idx := int(q.p * float64(len(s)-1))
+		return s[idx], true
+	default:
+		return q.heights[2], true
+	}
+}
+
+// N returns the number of observations.
+func (q *P2Quantile) N() int { return q.n }
+
+// validate is used by tests: markers must stay ordered.
+func (q *P2Quantile) validate() bool {
+	if q.n < 5 {
+		return true
+	}
+	for i := 1; i < 5; i++ {
+		if q.heights[i] < q.heights[i-1] {
+			return false
+		}
+		if math.IsNaN(q.heights[i]) {
+			return false
+		}
+	}
+	return true
+}

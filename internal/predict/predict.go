@@ -1,0 +1,285 @@
+// Package predict implements the paper's §IV future-work takeaway: "This is
+// an opportunity for designing new strategies to apply ML-based techniques
+// to predict user behavior in a lightweight manner, suited for production
+// AI-enabling supercomputers."
+//
+// It provides streaming per-user predictors for the next job's run time and
+// utilization — the quantities a scheduler would use for backfill planning
+// and co-location placement — plus an evaluation harness that replays a
+// trace in submission order and scores each predictor online (predict, then
+// observe, then update: no leakage).
+//
+// The headline negative result the paper motivates is reproduced here:
+// because a user's jobs vary wildly (Fig. 11) and expert users are not more
+// predictable (Fig. 12), per-user point predictors barely beat global
+// baselines on run time, and only utilization — which is anchored by the
+// user's project mix — predicts usefully.
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Predictor forecasts a scalar property of a user's next job and learns
+// from each observed outcome. Implementations are streaming and O(1)-ish
+// per update — "lightweight, suited for production".
+type Predictor interface {
+	// Predict returns the forecast for user's next job, and false when the
+	// predictor has no basis yet (cold start).
+	Predict(user int) (float64, bool)
+	// Observe feeds the realized value after the job completes.
+	Observe(user int, value float64)
+	// Name identifies the predictor in evaluation tables.
+	Name() string
+}
+
+// GlobalMean predicts the running mean over all users — the baseline any
+// per-user model must beat.
+type GlobalMean struct {
+	n    float64
+	mean float64
+}
+
+// Name implements Predictor.
+func (g *GlobalMean) Name() string { return "global-mean" }
+
+// Predict implements Predictor.
+func (g *GlobalMean) Predict(int) (float64, bool) {
+	if g.n == 0 {
+		return 0, false
+	}
+	return g.mean, true
+}
+
+// Observe implements Predictor.
+func (g *GlobalMean) Observe(_ int, v float64) {
+	g.n++
+	g.mean += (v - g.mean) / g.n
+}
+
+// GlobalMedian predicts the streaming median over all users, approximated
+// by the P² quantile estimator (constant memory).
+type GlobalMedian struct {
+	p2 P2Quantile
+}
+
+// NewGlobalMedian builds the estimator.
+func NewGlobalMedian() *GlobalMedian {
+	return &GlobalMedian{p2: NewP2Quantile(0.5)}
+}
+
+// Name implements Predictor.
+func (g *GlobalMedian) Name() string { return "global-median" }
+
+// Predict implements Predictor.
+func (g *GlobalMedian) Predict(int) (float64, bool) {
+	return g.p2.Value()
+}
+
+// Observe implements Predictor.
+func (g *GlobalMedian) Observe(_ int, v float64) { g.p2.Add(v) }
+
+// LastValue predicts the user's previous observation — the strongest naive
+// per-user model when behavior is sticky.
+type LastValue struct {
+	last map[int]float64
+}
+
+// NewLastValue builds the predictor.
+func NewLastValue() *LastValue { return &LastValue{last: map[int]float64{}} }
+
+// Name implements Predictor.
+func (l *LastValue) Name() string { return "per-user-last" }
+
+// Predict implements Predictor.
+func (l *LastValue) Predict(user int) (float64, bool) {
+	v, ok := l.last[user]
+	return v, ok
+}
+
+// Observe implements Predictor.
+func (l *LastValue) Observe(user int, v float64) { l.last[user] = v }
+
+// UserEWMA predicts an exponentially weighted moving average per user.
+type UserEWMA struct {
+	Alpha float64
+	state map[int]float64
+	seen  map[int]bool
+}
+
+// NewUserEWMA builds the predictor with smoothing alpha in (0, 1].
+func NewUserEWMA(alpha float64) *UserEWMA {
+	return &UserEWMA{Alpha: alpha, state: map[int]float64{}, seen: map[int]bool{}}
+}
+
+// Name implements Predictor.
+func (u *UserEWMA) Name() string { return fmt.Sprintf("per-user-ewma(%.2g)", u.Alpha) }
+
+// Predict implements Predictor.
+func (u *UserEWMA) Predict(user int) (float64, bool) {
+	if !u.seen[user] {
+		return 0, false
+	}
+	return u.state[user], true
+}
+
+// Observe implements Predictor.
+func (u *UserEWMA) Observe(user int, v float64) {
+	if !u.seen[user] {
+		u.state[user] = v
+		u.seen[user] = true
+		return
+	}
+	u.state[user] += u.Alpha * (v - u.state[user])
+}
+
+// UserMedianKNN predicts the median of the user's last K observations — a
+// tiny instance-based ("k-NN over one's own history") model, robust to the
+// heavy run-time tail that wrecks mean-based predictors.
+type UserMedianKNN struct {
+	K      int
+	window map[int][]float64
+}
+
+// NewUserMedianKNN builds the predictor over the last k observations.
+func NewUserMedianKNN(k int) *UserMedianKNN {
+	if k < 1 {
+		k = 1
+	}
+	return &UserMedianKNN{K: k, window: map[int][]float64{}}
+}
+
+// Name implements Predictor.
+func (u *UserMedianKNN) Name() string { return fmt.Sprintf("per-user-median(%d)", u.K) }
+
+// Predict implements Predictor.
+func (u *UserMedianKNN) Predict(user int) (float64, bool) {
+	w := u.window[user]
+	if len(w) == 0 {
+		return 0, false
+	}
+	s := append([]float64(nil), w...)
+	sort.Float64s(s)
+	return s[len(s)/2], true
+}
+
+// Observe implements Predictor.
+func (u *UserMedianKNN) Observe(user int, v float64) {
+	w := append(u.window[user], v)
+	if len(w) > u.K {
+		w = w[len(w)-u.K:]
+	}
+	u.window[user] = w
+}
+
+// Target selects the job property to predict.
+type Target int
+
+// The evaluated targets.
+const (
+	TargetRunMinutes Target = iota
+	TargetMeanSM
+)
+
+// String names the target.
+func (t Target) String() string {
+	if t == TargetMeanSM {
+		return "mean-sm"
+	}
+	return "run-minutes"
+}
+
+// value extracts the target from a record.
+func (t Target) value(j *trace.JobRecord) float64 {
+	if t == TargetMeanSM {
+		return j.GPU[metrics.SMUtil].Mean
+	}
+	return j.RunSec / 60
+}
+
+// Score is one predictor's online evaluation.
+type Score struct {
+	Predictor string
+	Target    string
+	N         int     // scored predictions (cold starts excluded)
+	MAE       float64 // mean absolute error
+	MedAPE    float64 // median absolute percentage error (robust to tails)
+	RMSLE     float64 // root mean squared log error (scale-free)
+}
+
+// Evaluate replays the dataset's GPU jobs in submission order through each
+// predictor, scoring strictly online. Targets with non-positive values skip
+// the log-based metrics.
+func Evaluate(ds *trace.Dataset, target Target, preds []Predictor) ([]Score, error) {
+	jobs := ds.GPUJobs()
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("predict: no GPU jobs to evaluate")
+	}
+	ordered := append([]*trace.JobRecord(nil), jobs...)
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].SubmitSec < ordered[b].SubmitSec })
+
+	type acc struct {
+		n        int
+		absSum   float64
+		apes     []float64
+		sqLogSum float64
+		logN     int
+	}
+	accs := make([]acc, len(preds))
+	for _, j := range ordered {
+		truth := target.value(j)
+		for pi, p := range preds {
+			if guess, ok := p.Predict(j.User); ok {
+				a := &accs[pi]
+				a.n++
+				err := math.Abs(guess - truth)
+				a.absSum += err
+				if truth > 1e-9 {
+					a.apes = append(a.apes, err/truth*100)
+				}
+				if truth > 0 && guess > 0 {
+					d := math.Log1p(guess) - math.Log1p(truth)
+					a.sqLogSum += d * d
+					a.logN++
+				}
+			}
+		}
+		for _, p := range preds {
+			p.Observe(j.User, truth)
+		}
+	}
+	out := make([]Score, len(preds))
+	for pi, p := range preds {
+		a := &accs[pi]
+		s := Score{Predictor: p.Name(), Target: target.String(), N: a.n}
+		if a.n > 0 {
+			s.MAE = a.absSum / float64(a.n)
+		}
+		if len(a.apes) > 0 {
+			sort.Float64s(a.apes)
+			s.MedAPE = a.apes[len(a.apes)/2]
+		}
+		if a.logN > 0 {
+			s.RMSLE = math.Sqrt(a.sqLogSum / float64(a.logN))
+		}
+		out[pi] = s
+	}
+	return out, nil
+}
+
+// StandardPredictors returns the evaluation lineup: two global baselines and
+// three lightweight per-user models.
+func StandardPredictors() []Predictor {
+	return []Predictor{
+		&GlobalMean{},
+		NewGlobalMedian(),
+		NewLastValue(),
+		NewUserEWMA(0.3),
+		NewUserMedianKNN(8),
+	}
+}

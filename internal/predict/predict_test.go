@@ -1,0 +1,236 @@
+package predict
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestGlobalMean(t *testing.T) {
+	g := &GlobalMean{}
+	if _, ok := g.Predict(1); ok {
+		t.Fatal("cold predictor produced a value")
+	}
+	g.Observe(1, 10)
+	g.Observe(2, 20)
+	v, ok := g.Predict(99)
+	if !ok || v != 15 {
+		t.Fatalf("mean = %v, %v", v, ok)
+	}
+}
+
+func TestLastValueAndEWMA(t *testing.T) {
+	l := NewLastValue()
+	e := NewUserEWMA(0.5)
+	for _, v := range []float64{10, 20, 30} {
+		l.Observe(7, v)
+		e.Observe(7, v)
+	}
+	if v, _ := l.Predict(7); v != 30 {
+		t.Fatalf("last = %v", v)
+	}
+	// EWMA(0.5): 10 -> 15 -> 22.5.
+	if v, _ := e.Predict(7); math.Abs(v-22.5) > 1e-12 {
+		t.Fatalf("ewma = %v", v)
+	}
+	if _, ok := e.Predict(8); ok {
+		t.Fatal("unseen user predicted")
+	}
+}
+
+func TestUserMedianKNN(t *testing.T) {
+	k := NewUserMedianKNN(3)
+	for _, v := range []float64{100, 1, 2, 3} { // the 100 rolls out of the window
+		k.Observe(5, v)
+	}
+	if v, _ := k.Predict(5); v != 2 {
+		t.Fatalf("windowed median = %v, want 2", v)
+	}
+	if NewUserMedianKNN(0).K != 1 {
+		t.Fatal("k floor missing")
+	}
+}
+
+func TestP2QuantileAccuracy(t *testing.T) {
+	rng := dist.New(5)
+	q := NewP2Quantile(0.5)
+	var all []float64
+	for i := 0; i < 20000; i++ {
+		v := math.Exp(rng.NormFloat64())
+		q.Add(v)
+		all = append(all, v)
+		if !q.validate() {
+			t.Fatalf("marker invariant broken at %d", i)
+		}
+	}
+	sort.Float64s(all)
+	exact := all[len(all)/2]
+	got, ok := q.Value()
+	if !ok {
+		t.Fatal("no value")
+	}
+	if math.Abs(got-exact)/exact > 0.1 {
+		t.Fatalf("P2 median %v vs exact %v", got, exact)
+	}
+}
+
+func TestP2SmallSamples(t *testing.T) {
+	q := NewP2Quantile(0.5)
+	if _, ok := q.Value(); ok {
+		t.Fatal("empty estimator produced value")
+	}
+	q.Add(3)
+	q.Add(1)
+	q.Add(2)
+	v, ok := q.Value()
+	if !ok || v != 2 {
+		t.Fatalf("small-sample median = %v", v)
+	}
+}
+
+// Property: P² stays within the observed range and keeps markers ordered for
+// arbitrary inputs.
+func TestP2Property(t *testing.T) {
+	f := func(raw []float64) bool {
+		q := NewP2Quantile(0.5)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		n := 0
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				// Predictor inputs are run times and utilization percents;
+				// restrict the property domain to physical magnitudes (the
+				// estimator guards against overflow separately).
+				continue
+			}
+			q.Add(v)
+			n++
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			if !q.validate() {
+				return false
+			}
+		}
+		if n == 0 {
+			return true
+		}
+		v, ok := q.Value()
+		return ok && v >= lo-1e-9 && v <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateOnline(t *testing.T) {
+	// Deterministic toy trace: user 0 always runs 10-minute jobs, user 1
+	// alternates 5 and 500. Per-user models nail user 0; nobody nails user 1.
+	ds := trace.NewDataset(1)
+	id := int64(1)
+	for i := 0; i < 40; i++ {
+		run := 600.0
+		user := 0
+		if i%2 == 1 {
+			user = 1
+			if i%4 == 1 {
+				run = 300
+			} else {
+				run = 30000
+			}
+		}
+		ds.Add(trace.JobRecord{
+			JobID: id, User: user, SubmitSec: float64(i) * 100, RunSec: run,
+			NumGPUs: 1, Exit: trace.ExitSuccess,
+		})
+		id++
+	}
+	scores, err := Evaluate(ds, TargetRunMinutes, StandardPredictors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 5 {
+		t.Fatalf("scores = %d", len(scores))
+	}
+	byName := map[string]Score{}
+	for _, s := range scores {
+		byName[s.Predictor] = s
+		if s.N == 0 {
+			t.Fatalf("%s scored nothing", s.Predictor)
+		}
+	}
+	// Per-user EWMA must beat the global mean here: user 0 is perfectly
+	// predictable and user 1 wrecks both equally.
+	if byName["per-user-ewma(0.3)"].MAE >= byName["global-mean"].MAE {
+		t.Fatalf("EWMA MAE %v >= global %v", byName["per-user-ewma(0.3)"].MAE, byName["global-mean"].MAE)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	if _, err := Evaluate(trace.NewDataset(1), TargetRunMinutes, StandardPredictors()); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+// TestPaperNegativeResult reproduces the §IV takeaway on a generated
+// population: per-user run-time prediction barely improves on the global
+// median (users are individually unpredictable), while utilization — pinned
+// by each user's project mix — gains clearly from per-user state.
+func TestPaperNegativeResult(t *testing.T) {
+	cfg := workload.ScaledConfig(0.05)
+	cfg.Seed = 41
+	g, err := workload.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := g.BuildDataset(g.GenerateSpecs())
+
+	run, err := Evaluate(ds, TargetRunMinutes, StandardPredictors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := Evaluate(ds, TargetMeanSM, StandardPredictors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(scores []Score, name string) Score {
+		for _, s := range scores {
+			if s.Predictor == name {
+				return s
+			}
+		}
+		t.Fatalf("predictor %s missing", name)
+		return Score{}
+	}
+	runGlobal := get(run, "global-median").MedAPE
+	runUser := get(run, "per-user-median(8)").MedAPE
+	smGlobal := get(sm, "global-median").MedAPE
+	smUser := get(sm, "per-user-median(8)").MedAPE
+	t.Logf("run-minutes MedAPE: global %.0f%% vs per-user %.0f%%", runGlobal, runUser)
+	t.Logf("mean-SM     MedAPE: global %.0f%% vs per-user %.0f%%", smGlobal, smUser)
+
+	// The paper's conclusion — "user-specific predictive resource
+	// management strategies may not remain effective" — shows up as
+	// marginal per-user gains on BOTH targets: knowing a user's full
+	// history buys under 40 % relative improvement over a global baseline.
+	runGain := 1 - runUser/runGlobal
+	smGain := 1 - smUser/smGlobal
+	if runGain > 0.4 {
+		t.Errorf("run-time predictability too high: gain %.2f (paper: users unpredictable)", runGain)
+	}
+	if smGain > 0.4 {
+		t.Errorf("utilization predictability too high: gain %.2f", smGain)
+	}
+	// Everything stays bad in absolute terms: even the best run-time
+	// predictor misses by more than 60 % (median APE).
+	if runUser < 60 {
+		t.Errorf("per-user run-time MedAPE %.0f%% suspiciously good", runUser)
+	}
+}

@@ -1,0 +1,315 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// ExportCSVDir writes every figure of a report as CSV files under dir
+// (created if absent), one file per figure, so the plots can be regenerated
+// with any external plotting tool. File names follow the paper's figure
+// numbering.
+func ExportCSVDir(dir string, r *core.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("report: creating export dir: %w", err)
+	}
+	writers := []struct {
+		name string
+		fn   func(io.Writer, *core.Report) error
+	}{
+		{"fig03a_runtimes.csv", exportFig3a},
+		{"fig03b_waits.csv", exportFig3b},
+		{"fig04a_utilization.csv", exportFig4a},
+		{"fig04b_pcie.csv", exportFig4b},
+		{"fig05_interfaces.csv", exportFig5},
+		{"fig06_phases.csv", exportFig6},
+		{"fig07a_active_cov.csv", exportFig7a},
+		{"fig08_bottlenecks.csv", exportFig8},
+		{"fig09a_power.csv", exportFig9a},
+		{"fig10_11_users.csv", exportFig10},
+		{"fig12_trends.csv", exportFig12},
+		{"fig13_gpu_counts.csv", exportFig13},
+		{"fig14_multigpu.csv", exportFig14},
+		{"fig15_16_lifecycle.csv", exportFig15},
+		{"fig17_user_mix.csv", exportFig17},
+		{"sec4_concentration.csv", exportConcentration},
+		{"paper_comparison.csv", exportComparison},
+	}
+	for _, w := range writers {
+		f, err := os.Create(filepath.Join(dir, w.name))
+		if err != nil {
+			return fmt.Errorf("report: creating %s: %w", w.name, err)
+		}
+		err = w.fn(f, r)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("report: writing %s: %w", w.name, err)
+		}
+	}
+	return nil
+}
+
+// writeCurves writes labeled CDF curves in long form: series,x,f.
+func writeCurves(w io.Writer, series map[string][]stats.Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "x", "cdf"}); err != nil {
+		return err
+	}
+	// Stable output order.
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		for _, p := range series[name] {
+			if err := cw.Write([]string{name, fmtG(p.X), fmtG(p.F)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func fmtG(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func exportFig3a(w io.Writer, r *core.Report) error {
+	return writeCurves(w, map[string][]stats.Point{
+		"gpu_run_min": r.Runtimes.GPU.Curve,
+		"cpu_run_min": r.Runtimes.CPU.Curve,
+	})
+}
+
+func exportFig3b(w io.Writer, r *core.Report) error {
+	return writeCurves(w, map[string][]stats.Point{
+		"gpu_wait_pct_of_service": r.Waits.GPUWaitPct.Curve,
+		"cpu_wait_pct_of_service": r.Waits.CPUWaitPct.Curve,
+	})
+}
+
+func exportFig4a(w io.Writer, r *core.Report) error {
+	return writeCurves(w, map[string][]stats.Point{
+		"sm":       r.Utilization.SM.Curve,
+		"mem":      r.Utilization.Mem.Curve,
+		"mem_size": r.Utilization.MemSize.Curve,
+	})
+}
+
+func exportFig4b(w io.Writer, r *core.Report) error {
+	return writeCurves(w, map[string][]stats.Point{
+		"pcie_tx": r.PCIe.Tx.Curve,
+		"pcie_rx": r.PCIe.Rx.Curve,
+	})
+}
+
+func exportFig5(w io.Writer, r *core.Report) error {
+	series := map[string][]stats.Point{}
+	for i := trace.Interface(0); i < trace.NumInterfaces; i++ {
+		series["sm_"+i.String()] = r.ByInterface.SM[i].Curve
+		series["mem_"+i.String()] = r.ByInterface.Mem[i].Curve
+	}
+	return writeCurves(w, series)
+}
+
+func exportFig6(w io.Writer, r *core.Report) error {
+	return writeCurves(w, map[string][]stats.Point{
+		"active_time_pct": r.Phases.ActiveTimePct.Curve,
+		"idle_cov_pct":    r.Phases.IdleCoV.Curve,
+		"active_cov_pct":  r.Phases.ActiveCoVLen.Curve,
+	})
+}
+
+func exportFig7a(w io.Writer, r *core.Report) error {
+	return writeCurves(w, map[string][]stats.Point{
+		"sm_cov":      r.ActiveCoV.SMCoV.Curve,
+		"mem_cov":     r.ActiveCoV.MemCoV.Curve,
+		"memsize_cov": r.ActiveCoV.MemSizeCoV.Curve,
+	})
+}
+
+func exportFig8(w io.Writer, r *core.Report) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"resource", "bottleneck_frac"}); err != nil {
+		return err
+	}
+	for _, m := range metrics.BottleneckMetrics {
+		if err := cw.Write([]string{m.String(), fmtG(r.Bottlenecks.SingleFrac[m])}); err != nil {
+			return err
+		}
+	}
+	for pair, frac := range r.Bottlenecks.PairFrac {
+		if err := cw.Write([]string{pair[0].String() + "+" + pair[1].String(), fmtG(frac)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func exportFig9a(w io.Writer, r *core.Report) error {
+	return writeCurves(w, map[string][]stats.Point{
+		"avg_power_w": r.Power.Avg.Curve,
+		"max_power_w": r.Power.Max.Curve,
+	})
+}
+
+func exportFig10(w io.Writer, r *core.Report) error {
+	return writeCurves(w, map[string][]stats.Point{
+		"user_avg_run_min": r.UserAverages.AvgRunMin.Curve,
+		"user_avg_sm":      r.UserAverages.AvgSM.Curve,
+		"user_avg_mem":     r.UserAverages.AvgMem.Curve,
+		"user_run_cov":     r.UserCoV.RunCoV.Curve,
+		"user_sm_cov":      r.UserCoV.SMCoV.Curve,
+		"user_mem_cov":     r.UserCoV.MemCoV.Curve,
+	})
+}
+
+func exportFig12(w io.Writer, r *core.Report) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"activity", "behavior", "rho", "p_value", "n"}); err != nil {
+		return err
+	}
+	for _, p := range r.UserTrends.Pairs {
+		row := []string{p.Activity, p.Behavior, fmtG(p.Result.Rho), fmtG(p.Result.PValue), strconv.Itoa(p.Result.N)}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func exportFig13(w io.Writer, r *core.Report) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"gpus", "job_frac"}); err != nil {
+		return err
+	}
+	counts := make([]int, 0, len(r.GPUCounts.FracByCount))
+	for k := range r.GPUCounts.FracByCount {
+		counts = append(counts, k)
+	}
+	for i := 1; i < len(counts); i++ {
+		for j := i; j > 0 && counts[j] < counts[j-1]; j-- {
+			counts[j], counts[j-1] = counts[j-1], counts[j]
+		}
+	}
+	for _, k := range counts {
+		if err := cw.Write([]string{strconv.Itoa(k), fmtG(r.GPUCounts.FracByCount[k])}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func exportFig14(w io.Writer, r *core.Report) error {
+	names := []string{"sm", "mem", "memsize"}
+	series := map[string][]stats.Point{}
+	for i, n := range names {
+		series["cov_all_gpus_"+n] = r.MultiGPU.CoVAllGPUs[i].Curve
+		series["cov_active_gpus_"+n] = r.MultiGPU.CoVActiveGPUs[i].Curve
+	}
+	return writeCurves(w, series)
+}
+
+func exportFig15(w io.Writer, r *core.Report) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"category", "job_share", "hour_share", "median_run_min", "sm_median", "sm_q1", "sm_q3"}); err != nil {
+		return err
+	}
+	for c := trace.Category(0); c < trace.NumCategories; c++ {
+		box := r.Lifecycle.Boxes[c][0]
+		row := []string{
+			c.String(),
+			fmtG(r.Lifecycle.JobShare[c]),
+			fmtG(r.Lifecycle.HourShare[c]),
+			fmtG(r.Lifecycle.MedianRunMin[c]),
+			fmtG(box.Median), fmtG(box.Q1), fmtG(box.Q3),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func exportFig17(w io.Writer, r *core.Report) error {
+	cw := csv.NewWriter(w)
+	header := []string{"user_rank_frac"}
+	for c := trace.Category(0); c < trace.NumCategories; c++ {
+		header = append(header, "job_frac_"+c.String())
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	n := len(r.UserMix.ByJobs)
+	for i, row := range r.UserMix.ByJobs {
+		rec := []string{fmtG(float64(i) / maxF(float64(n-1), 1))}
+		for c := trace.Category(0); c < trace.NumCategories; c++ {
+			rec = append(rec, fmtG(row.JobFrac[c]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func exportComparison(w io.Writer, r *core.Report) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", "quantity", "paper", "measured", "band_lo", "band_hi", "in_band"}); err != nil {
+		return err
+	}
+	for _, c := range core.ComparePaper(r) {
+		row := []string{c.Figure, c.Quantity, fmtG(c.Paper), fmtG(c.Measured),
+			fmtG(c.BandLo), fmtG(c.BandHi), fmt.Sprintf("%t", c.InBand)}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func exportConcentration(w io.Writer, r *core.Report) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"user_frac", "cumulative_job_share"}); err != nil {
+		return err
+	}
+	for _, p := range r.Concentration.Lorenz {
+		if err := cw.Write([]string{fmtG(p.X), fmtG(p.F)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

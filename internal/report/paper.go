@@ -1,0 +1,317 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// RenderTableI writes the system-specification table (paper Table I).
+func RenderTableI(w io.Writer, cfg cluster.Config) error {
+	t := NewTable("Table I: system specifications",
+		"item", "value")
+	t.AddRowF("nodes", cfg.Nodes)
+	t.AddRowF("CPU cores", cfg.TotalCores())
+	t.AddRowF("node RAM (GB)", cfg.MemGBPerNode)
+	t.AddRowF("GPUs", cfg.TotalGPUs())
+	t.AddRow("GPU type", cfg.GPUSpec.Name)
+	t.AddRowF("GPU RAM (GB)", cfg.GPUSpec.MemoryGB)
+	t.AddRowF("GPUs per node", cfg.GPUsPerNode)
+	t.AddRow("interconnect", cfg.Interconnect)
+	t.AddRow("network", cfg.Network)
+	t.AddRowF("local SSD (TB)", cfg.LocalSSDTB)
+	t.AddRowF("local HDD (TB)", cfg.LocalHDDTB)
+	t.AddRowF("shared SSD (TB)", cfg.SharedSSDTB)
+	return t.Render(w)
+}
+
+// RenderReport writes every figure of a characterization report.
+func RenderReport(w io.Writer, r *core.Report) error {
+	sections := []func(io.Writer, *core.Report) error{
+		renderFig3, renderFig4, renderFig5, renderFig6, renderFig7and8,
+		renderFig9, renderFig10and11, renderFig12, renderFig13, renderFig14,
+		renderFig15and16, renderFig17, renderConcentration,
+	}
+	for _, f := range sections {
+		if err := f(w, r); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func renderFig3(w io.Writer, r *core.Report) error {
+	if err := CDFPlot(w, "Fig 3a: GPU job run times (minutes, log x)", r.Runtimes.GPU.Curve, 60, 10, true); err != nil {
+		return err
+	}
+	if err := CDFPlot(w, "Fig 3a: CPU job run times (minutes, log x)", r.Runtimes.CPU.Curve, 60, 10, true); err != nil {
+		return err
+	}
+	t := NewTable("Fig 3: service-time statistics", "quantity", "GPU jobs", "CPU jobs")
+	t.AddRowF("run time p25 (min)", r.Runtimes.GPU.P25, r.Runtimes.CPU.P25)
+	t.AddRowF("run time median (min)", r.Runtimes.GPU.P50, r.Runtimes.CPU.P50)
+	t.AddRowF("run time p75 (min)", r.Runtimes.GPU.P75, r.Runtimes.CPU.P75)
+	t.AddRow("wait <1 min", Pct(r.Waits.GPUWaitUnder1MinFrac), Pct(1-r.Waits.CPUWaitOver1MinFrac))
+	t.AddRow("wait <2% of service", Pct(r.Waits.GPUWaitPctUnder2Frac), "-")
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	t2 := NewTable("Sec V: median queue wait by job size", "size", "median wait (s)")
+	for c := 0; c < 4; c++ {
+		t2.AddRowF(core.SizeClassLabel(c), r.Waits.MedianWaitBySize[c])
+	}
+	return t2.Render(w)
+}
+
+func renderFig4(w io.Writer, r *core.Report) error {
+	if err := CDFPlot(w, "Fig 4a: SM utilization (%)", r.Utilization.SM.Curve, 60, 10, false); err != nil {
+		return err
+	}
+	t := NewTable("Fig 4a: GPU resource utilization", "metric", "median", ">50% jobs")
+	t.AddRowF("SM (%)", r.Utilization.SM.P50, Pct(r.Utilization.SMOver50))
+	t.AddRowF("memory BW (%)", r.Utilization.Mem.P50, Pct(r.Utilization.MemOver50))
+	t.AddRowF("memory size (%)", r.Utilization.MemSize.P50, Pct(r.Utilization.SizeOver50))
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	t2 := NewTable("Fig 4b: PCIe bandwidth utilization", "direction", "median", "KS-to-uniform")
+	t2.AddRowF("Tx (%)", r.PCIe.Tx.P50, r.PCIe.TxUniformKS)
+	t2.AddRowF("Rx (%)", r.PCIe.Rx.P50, r.PCIe.RxUniformKS)
+	return t2.Render(w)
+}
+
+func renderFig5(w io.Writer, r *core.Report) error {
+	t := NewTable("Fig 5: utilization by submission interface",
+		"interface", "job share", "median SM (%)", "median mem (%)")
+	for i := trace.Interface(0); i < trace.NumInterfaces; i++ {
+		t.AddRowF(i.String(), Pct(r.ByInterface.Share[i]), r.ByInterface.SM[i].P50, r.ByInterface.Mem[i].P50)
+	}
+	return t.Render(w)
+}
+
+func renderFig6(w io.Writer, r *core.Report) error {
+	if err := CDFPlot(w, "Fig 6a: time in active phases (% of run)", r.Phases.ActiveTimePct.Curve, 60, 10, false); err != nil {
+		return err
+	}
+	t := NewTable(fmt.Sprintf("Fig 6: phase structure (%d detailed jobs)", r.Phases.JobsAnalyzed),
+		"quantity", "p25", "median", "p75")
+	t.AddRowF("active time (%)", r.Phases.ActiveTimePct.P25, r.Phases.ActiveTimePct.P50, r.Phases.ActiveTimePct.P75)
+	t.AddRowF("idle-interval CoV (%)", r.Phases.IdleCoV.P25, r.Phases.IdleCoV.P50, r.Phases.IdleCoV.P75)
+	t.AddRowF("active-interval CoV (%)", r.Phases.ActiveCoVLen.P25, r.Phases.ActiveCoVLen.P50, r.Phases.ActiveCoVLen.P75)
+	return t.Render(w)
+}
+
+func renderFig7and8(w io.Writer, r *core.Report) error {
+	t := NewTable("Fig 7a: utilization CoV during active phases", "metric", "median CoV (%)")
+	t.AddRowF("SM", r.ActiveCoV.SMCoV.P50)
+	t.AddRowF("memory BW", r.ActiveCoV.MemCoV.P50)
+	t.AddRowF("memory size", r.ActiveCoV.MemSizeCoV.P50)
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	axes := make([]string, 0, len(metrics.BottleneckMetrics))
+	vals := make([]float64, 0, len(metrics.BottleneckMetrics))
+	for _, m := range metrics.BottleneckMetrics {
+		axes = append(axes, m.String())
+		vals = append(vals, r.Bottlenecks.SingleFrac[m])
+	}
+	if err := Radar(w, "Fig 7b/8a: fraction of jobs bottlenecked per resource", axes, vals); err != nil {
+		return err
+	}
+	t2 := NewTable("Fig 8b: pairwise bottlenecks", "pair", "job fraction")
+	for pair, frac := range r.Bottlenecks.PairFrac {
+		t2.AddRowF(pair[0].String()+"+"+pair[1].String(), Pct(frac))
+	}
+	t2.AddRowF("any two or more", Pct(r.Bottlenecks.AnyTwoFrac))
+	return t2.Render(w)
+}
+
+func renderFig9(w io.Writer, r *core.Report) error {
+	if err := CDFPlot(w, "Fig 9a: average GPU power (W)", r.Power.Avg.Curve, 60, 10, false); err != nil {
+		return err
+	}
+	t := NewTable("Fig 9a: GPU power draw", "quantity", "median (W)", "p75 (W)")
+	t.AddRowF("average power", r.Power.Avg.P50, r.Power.Avg.P75)
+	t.AddRowF("maximum power", r.Power.Max.P50, r.Power.Max.P75)
+	t.AddRowF("device TDP", r.Power.TDPWatts, r.Power.TDPWatts)
+	return t.Render(w)
+}
+
+func renderFig10and11(w io.Writer, r *core.Report) error {
+	t := NewTable("Fig 10/11: per-user behavior", "quantity", "median across users")
+	t.AddRowF("avg job run time (min)", r.UserAverages.AvgRunMin.P50)
+	t.AddRowF("avg SM util (%)", r.UserAverages.AvgSM.P50)
+	t.AddRowF("avg mem util (%)", r.UserAverages.AvgMem.P50)
+	t.AddRowF("avg mem size (%)", r.UserAverages.AvgMemSize.P50)
+	t.AddRowF("run-time CoV (%)", r.UserCoV.RunCoV.P50)
+	t.AddRowF("SM CoV (%)", r.UserCoV.SMCoV.P50)
+	t.AddRowF("mem CoV (%)", r.UserCoV.MemCoV.P50)
+	return t.Render(w)
+}
+
+func renderFig12(w io.Writer, r *core.Report) error {
+	t := NewTable("Fig 12: Spearman correlation of user activity vs behavior",
+		"activity", "behavior", "rho", "p-value")
+	for _, p := range r.UserTrends.Pairs {
+		t.AddRowF(p.Activity, p.Behavior, p.Result.Rho, p.Result.PValue)
+	}
+	return t.Render(w)
+}
+
+func renderFig13(w io.Writer, r *core.Report) error {
+	t := NewTable("Fig 13: job sizes", "quantity", "value")
+	t.AddRow("single-GPU jobs", Pct(r.GPUCounts.SingleGPUFrac))
+	t.AddRow("multi-GPU jobs", Pct(r.GPUCounts.MultiGPUFrac))
+	t.AddRow(">2 GPU jobs", Pct(r.GPUCounts.Over2Frac))
+	t.AddRow(">=9 GPU jobs", Pct(r.GPUCounts.NinePlusFrac))
+	t.AddRow("multi-GPU share of GPU hours", Pct(r.GPUCounts.MultiGPUHourShare))
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	labels := make([]string, 4)
+	vals := make([]float64, 4)
+	for c := 0; c < 4; c++ {
+		labels[c] = core.SizeClassLabel(c)
+		vals[c] = r.GPUCounts.HourShareBySizeClass[c]
+	}
+	return BarChart(w, "Fig 13b: GPU-hour share by job size", labels, vals, 30)
+}
+
+func renderFig14(w io.Writer, r *core.Report) error {
+	t := NewTable("Fig 14: cross-GPU variability of multi-GPU jobs",
+		"metric", "median CoV all GPUs (%)", "median CoV active GPUs (%)")
+	names := []string{"SM", "memory BW", "memory size"}
+	for i, n := range names {
+		t.AddRowF(n, r.MultiGPU.CoVAllGPUs[i].P50, r.MultiGPU.CoVActiveGPUs[i].P50)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "multi-GPU jobs with half+ GPUs idle: %s\n", Pct(r.MultiGPU.HalfIdleJobFrac))
+	return err
+}
+
+func renderFig15and16(w io.Writer, r *core.Report) error {
+	t := NewTable("Fig 15: life-cycle breakdown", "category", "job share", "GPU-hour share", "median run (min)")
+	for c := trace.Category(0); c < trace.NumCategories; c++ {
+		t.AddRowF(c.String(), Pct(r.Lifecycle.JobShare[c]), Pct(r.Lifecycle.HourShare[c]), r.Lifecycle.MedianRunMin[c])
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "Fig 16: SM utilization by category (box plots, 0-100%)"); err != nil {
+		return err
+	}
+	for c := trace.Category(0); c < trace.NumCategories; c++ {
+		if _, err := fmt.Fprintln(w, BoxPlot(c.String(), r.Lifecycle.Boxes[c][0], 0, 100, 40)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func renderFig17(w io.Writer, r *core.Report) error {
+	t := NewTable("Fig 17: per-user life-cycle mix", "quantity", "value")
+	t.AddRow("users with <40% mature jobs", Pct(r.UserMix.UsersUnder40PctMatureJobs))
+	t.AddRow("users with >60% non-mature GPU hours", Pct(r.UserMix.UsersOver60PctNonMatureHours))
+	return t.Render(w)
+}
+
+// RenderPaperComparison writes the machine-generated paper-vs-measured
+// table (the core of EXPERIMENTS.md).
+func RenderPaperComparison(w io.Writer, r *core.Report) error {
+	comps := core.ComparePaper(r)
+	t := NewTable("paper vs measured (shape bands)",
+		"figure", "quantity", "paper", "measured", "band", "ok")
+	inBand := 0
+	for _, c := range comps {
+		mark := "MISS"
+		if c.InBand {
+			mark = "ok"
+			inBand++
+		}
+		t.AddRowF(c.Figure, c.Quantity, c.Paper, c.Measured,
+			fmt.Sprintf("[%g, %g]", c.BandLo, c.BandHi), mark)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%d of %d targets within shape bands\n", inBand, len(comps))
+	return err
+}
+
+// RenderMarkdownComparison writes the paper-vs-measured table as GitHub
+// markdown — the generator behind EXPERIMENTS.md's table.
+func RenderMarkdownComparison(w io.Writer, r *core.Report) error {
+	if _, err := fmt.Fprintln(w, "| Exp | Quantity | Paper | Measured | Band | In band |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---|---|---|---|---|---|"); err != nil {
+		return err
+	}
+	inBand, total := 0, 0
+	for _, c := range core.ComparePaper(r) {
+		total++
+		mark := "no"
+		if c.InBand {
+			mark = "yes"
+			inBand++
+		}
+		if _, err := fmt.Fprintf(w, "| %s | %s | %.4g | %.4g | [%g, %g] | %s |\n",
+			c.Figure, c.Quantity, c.Paper, c.Measured, c.BandLo, c.BandHi, mark); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "\n%d of %d targets within shape bands\n", inBand, total)
+	return err
+}
+
+// RenderArrivals writes the submission-process characterization.
+func RenderArrivals(w io.Writer, a core.ArrivalResult) error {
+	t := NewTable("submission process (Sec II)", "quantity", "value")
+	t.AddRowF("weekday mean submissions/day", a.WeekdayMean)
+	t.AddRowF("weekend mean submissions/day", a.WeekendMean)
+	t.AddRowF("peak day", a.PeakDay)
+	t.AddRowF("surge windows detected", len(a.SurgeWindows))
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	for _, win := range a.SurgeWindows {
+		if _, err := fmt.Fprintf(w, "  surge: days %d-%d (%.1fx median load)\n",
+			win.StartDay, win.EndDay, win.MeanLoadFactor); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func renderConcentration(w io.Writer, r *core.Report) error {
+	th := NewTable("Sec III: host-CPU usage (co-location rationale)",
+		"population", "median host-CPU (%)", "p75 (%)")
+	th.AddRowF("GPU jobs", r.HostCPUUse.GPUJobs.P50, r.HostCPUUse.GPUJobs.P75)
+	th.AddRowF("CPU jobs", r.HostCPUUse.CPUJobs.P50, r.HostCPUUse.CPUJobs.P75)
+	if err := th.Render(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "GPU jobs using <50%% of their host cores: %s\n\n",
+		Pct(r.HostCPUUse.GPUJobsUnder50Frac)); err != nil {
+		return err
+	}
+	t := NewTable("Sec IV/V: user population", "quantity", "value")
+	t.AddRowF("users", r.Concentration.Users)
+	t.AddRowF("median user jobs", r.Concentration.MedianUserJobs)
+	t.AddRow("top-5% user job share", Pct(r.Concentration.Top5PctShare))
+	t.AddRow("top-20% user job share", Pct(r.Concentration.Top20PctShare))
+	t.AddRowF("Gini coefficient", r.Concentration.Gini)
+	t.AddRow("users with >=1 multi-GPU job", Pct(r.Concentration.UsersWithMultiFrac))
+	t.AddRow("users with >=3 GPU jobs", Pct(r.Concentration.UsersWith3Frac))
+	t.AddRow("users with >=9 GPU jobs", Pct(r.Concentration.UsersWith9Frac))
+	return t.Render(w)
+}

@@ -1,0 +1,253 @@
+// Package report renders characterization results as terminal-friendly
+// text: aligned tables, ASCII CDF curves, horizontal bar charts, box plots
+// and radar summaries — the presentation layer behind cmd/characterize and
+// EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowF appends a row of formatted values: strings pass through, float64
+// render with %.4g, ints with %d.
+func (t *Table) AddRowF(cells ...any) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			out[i] = v
+		case float64:
+			if math.IsNaN(v) {
+				out[i] = "n/a"
+			} else {
+				out[i] = fmt.Sprintf("%.4g", v)
+			}
+		case int:
+			out[i] = fmt.Sprintf("%d", v)
+		default:
+			out[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(out...)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CDFPlot renders an empirical CDF curve as an ASCII chart of the given
+// width and height. A log-scaled x-axis is used when logX is set (the
+// paper's run-time CDFs are log-x).
+func CDFPlot(w io.Writer, title string, curve []stats.Point, width, height int, logX bool) error {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	if len(curve) == 0 {
+		_, err := fmt.Fprintf(w, "%s\n  (no data)\n", title)
+		return err
+	}
+	xmin, xmax := curve[0].X, curve[len(curve)-1].X
+	tx := func(x float64) float64 { return x }
+	if logX {
+		if xmin <= 0 {
+			xmin = 1e-3
+		}
+		tx = math.Log10
+	}
+	lo, hi := tx(xmin), tx(xmax)
+	if hi <= lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range curve {
+		x := p.X
+		if logX && x <= 0 {
+			x = xmin
+		}
+		col := int((tx(x) - lo) / (hi - lo) * float64(width-1))
+		row := height - 1 - int(p.F*float64(height-1))
+		if col < 0 {
+			col = 0
+		}
+		if col >= width {
+			col = width - 1
+		}
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		grid[row][col] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, line := range grid {
+		label := "    "
+		switch r {
+		case 0:
+			label = "1.0 "
+		case height - 1:
+			label = "0.0 "
+		}
+		fmt.Fprintf(&b, "%s|%s|\n", label, string(line))
+	}
+	axis := fmt.Sprintf("    %-*.4g%*.4g", width/2, xmin, width-width/2, xmax)
+	b.WriteString(axis)
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// BarChart renders labeled horizontal bars scaled to the maximum value.
+func BarChart(w io.Writer, title string, labels []string, values []float64, width int) error {
+	if width < 8 {
+		width = 8
+	}
+	var max float64
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for i, l := range labels {
+		v := 0.0
+		if i < len(values) {
+			v = values[i]
+		}
+		n := 0
+		if max > 0 {
+			n = int(v / max * float64(width))
+		}
+		fmt.Fprintf(&b, "%-*s |%s%s %.4g\n", labelW, l,
+			strings.Repeat("#", n), strings.Repeat(" ", width-n), v)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// BoxPlot renders one stats.BoxStats as a single text line within [lo, hi].
+func BoxPlot(label string, box stats.BoxStats, lo, hi float64, width int) string {
+	if width < 16 {
+		width = 16
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	line := []byte(strings.Repeat(" ", width))
+	pos := func(v float64) int {
+		p := int((v - lo) / (hi - lo) * float64(width-1))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	if box.N == 0 {
+		return fmt.Sprintf("%-14s (no data)", label)
+	}
+	wl, q1, med, q3, wh := pos(box.WhiskerLow), pos(box.Q1), pos(box.Median), pos(box.Q3), pos(box.WhiskerHigh)
+	for i := wl; i <= wh && i < width; i++ {
+		line[i] = '-'
+	}
+	for i := q1; i <= q3 && i < width; i++ {
+		line[i] = '='
+	}
+	line[med] = '|'
+	return fmt.Sprintf("%-14s [%s] med=%.3g iqr=[%.3g,%.3g]", label, string(line), box.Median, box.Q1, box.Q3)
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(frac float64) string {
+	if math.IsNaN(frac) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", frac*100)
+}
+
+// Radar renders a star-chart-like listing of axis values (Fig. 7b's radar
+// reduced to text).
+func Radar(w io.Writer, title string, axes []string, values []float64) error {
+	return BarChart(w, title+" (radar axes)", axes, values, 30)
+}

@@ -1,0 +1,105 @@
+package sharing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lifecycle"
+	"repro/internal/trace"
+)
+
+// CheckpointConfig models the state-saving mechanism the paper's §VI
+// takeaway calls for ("low-overhead checkpoint/restart mechanisms and
+// support for fast persistent storage").
+type CheckpointConfig struct {
+	// OverheadSec is the cost of writing one checkpoint (model state to
+	// fast persistent storage).
+	OverheadSec float64
+	// RestartSec is the cost of resuming from a checkpoint.
+	RestartSec float64
+	// Categories lists which job categories are checkpointed; the paper
+	// targets development and IDE jobs, which terminate by failure/timeout.
+	Categories []trace.Category
+}
+
+// DefaultCheckpointConfig checkpoints development and IDE jobs with a
+// 30-second write cost.
+func DefaultCheckpointConfig() CheckpointConfig {
+	return CheckpointConfig{
+		OverheadSec: 30,
+		RestartSec:  60,
+		Categories:  []trace.Category{trace.Development, trace.IDE},
+	}
+}
+
+// CheckpointReport quantifies the GPU-hours at stake.
+type CheckpointReport struct {
+	// JobsCovered is the number of jobs in the checkpointed categories that
+	// ended in failure or timeout (their state is otherwise lost).
+	JobsCovered int
+	// LostGPUHoursNoCkpt is the work destroyed without checkpointing: the
+	// entire run of every covered job.
+	LostGPUHoursNoCkpt float64
+	// LostGPUHoursWithCkpt is the residual loss with checkpointing: at most
+	// one interval plus overheads per covered job.
+	LostGPUHoursWithCkpt float64
+	// OverheadGPUHours is the checkpoint-writing cost added to covered jobs.
+	OverheadGPUHours float64
+	// SavedGPUHours is the net benefit.
+	SavedGPUHours float64
+	// IntervalSec is the per-report checkpoint interval used.
+	IntervalSec float64
+}
+
+// OptimalInterval returns the Young–Daly checkpoint interval for a process
+// whose state is lost on average every mtbfSec: sqrt(2·overhead·MTBF).
+func OptimalInterval(overheadSec, mtbfSec float64) float64 {
+	if overheadSec <= 0 || mtbfSec <= 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(2 * overheadSec * mtbfSec)
+}
+
+// CheckpointStudy evaluates cfg over the dataset, choosing the Young–Daly
+// interval from the covered jobs' mean run length (their "time to state
+// loss", since they end in failure or timeout).
+func CheckpointStudy(ds *trace.Dataset, cfg CheckpointConfig) (CheckpointReport, error) {
+	if cfg.OverheadSec <= 0 {
+		return CheckpointReport{}, fmt.Errorf("sharing: non-positive checkpoint overhead")
+	}
+	covered := map[trace.Category]bool{}
+	for _, c := range cfg.Categories {
+		covered[c] = true
+	}
+	var rep CheckpointReport
+	var sumRun float64
+	var jobs []*trace.JobRecord
+	for _, j := range ds.GPUJobs() {
+		if !covered[lifecycle.Classify(j)] {
+			continue
+		}
+		if j.Exit != trace.ExitFailed && j.Exit != trace.ExitTimeout {
+			continue
+		}
+		jobs = append(jobs, j)
+		sumRun += j.RunSec
+	}
+	rep.JobsCovered = len(jobs)
+	if len(jobs) == 0 {
+		return rep, nil
+	}
+	mtbf := sumRun / float64(len(jobs))
+	rep.IntervalSec = OptimalInterval(cfg.OverheadSec, mtbf)
+	for _, j := range jobs {
+		gpus := float64(j.NumGPUs)
+		rep.LostGPUHoursNoCkpt += gpus * j.RunSec / 3600
+		// With checkpointing the loss is the tail past the last checkpoint
+		// (half an interval in expectation) plus the restart cost.
+		residual := math.Min(j.RunSec, rep.IntervalSec/2+cfg.RestartSec)
+		rep.LostGPUHoursWithCkpt += gpus * residual / 3600
+		nCkpts := math.Floor(j.RunSec / rep.IntervalSec)
+		rep.OverheadGPUHours += gpus * nCkpts * cfg.OverheadSec / 3600
+	}
+	rep.SavedGPUHours = rep.LostGPUHoursNoCkpt - rep.LostGPUHoursWithCkpt - rep.OverheadGPUHours
+	return rep, nil
+}

@@ -1,0 +1,261 @@
+package sharing
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// ColocationPolicy selects how jobs are paired onto single GPUs.
+type ColocationPolicy int
+
+// The implemented policies.
+const (
+	// Exclusive is the production baseline: one job per GPU, no sharing.
+	Exclusive ColocationPolicy = iota
+	// StaticPairing pairs by average utilization only (space-sharing à la
+	// MPS/GSLICE): two jobs co-locate when their mean SM and memory demands
+	// fit under capacity.
+	StaticPairing
+	// PhaseAware additionally inspects the jobs' active/idle phase structure
+	// and prefers partners whose active phases interleave — the paper's
+	// "explicit time-spaced idle phases" opportunity.
+	PhaseAware
+)
+
+// String names the policy.
+func (p ColocationPolicy) String() string {
+	switch p {
+	case Exclusive:
+		return "exclusive"
+	case StaticPairing:
+		return "static-pairing"
+	case PhaseAware:
+		return "phase-aware"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ColocationConfig tunes the pairing simulation.
+type ColocationConfig struct {
+	// WindowSize bounds how far apart (in submission order) two jobs may be
+	// to share a GPU; co-location requires temporal adjacency.
+	WindowSize int
+	// MaxMeanContention rejects pairs whose estimated resource contention
+	// exceeds this fraction.
+	MaxMeanContention float64
+	// SlowdownAlpha converts contention into run-time dilation.
+	SlowdownAlpha float64
+	// GridPoints is the time resolution of the pairwise overlap estimate.
+	GridPoints int
+}
+
+// DefaultColocationConfig returns sane defaults.
+func DefaultColocationConfig() ColocationConfig {
+	return ColocationConfig{
+		WindowSize:        64,
+		MaxMeanContention: 0.08,
+		SlowdownAlpha:     2.0,
+		GridPoints:        96,
+	}
+}
+
+// ColocationReport is the outcome of one policy run.
+type ColocationReport struct {
+	Policy            ColocationPolicy
+	Jobs              int
+	PairsFormed       int
+	GPUHoursExclusive float64
+	GPUHoursUsed      float64
+	SavedFrac         float64
+	MeanSlowdown      float64
+	MaxSlowdown       float64
+}
+
+// pairEstimate is the contention/overlap analysis of a candidate pair.
+type pairEstimate struct {
+	meanContention float64 // average over-capacity demand fraction
+	activeOverlap  float64 // fraction of time both jobs are active
+}
+
+// meanEstimate judges a pair by average utilization only — what a static
+// space-sharing controller (MPS/GSLICE-style, no phase knowledge) can see.
+// It systematically underestimates contention because synchronized bursts
+// vanish in the averages.
+func meanEstimate(a, b *workload.Profile, gridPoints int) pairEstimate {
+	var e pairEstimate
+	if gridPoints < 2 {
+		gridPoints = 2
+	}
+	var sa, sb, ma, mb, za, zb float64
+	for k := 0; k < gridPoints; k++ {
+		f := float64(k) / float64(gridPoints-1)
+		ua := a.LevelAt(f * a.TotalSec())
+		ub := b.LevelAt(f * b.TotalSec())
+		sa += ua.SMPct
+		sb += ub.SMPct
+		ma += ua.MemPct
+		mb += ub.MemPct
+		za += ua.MemSizePct
+		zb += ub.MemSizePct
+	}
+	n := float64(gridPoints)
+	if over := (sa + sb - 100*n) / (100 * n); over > 0 {
+		e.meanContention += over
+	}
+	if over := (ma + mb - 100*n) / (100 * n); over > 0 {
+		e.meanContention += over
+	}
+	if over := (za + zb - 100*n) / (100 * n); over > 0 {
+		e.meanContention += 5 * over
+	}
+	return e
+}
+
+// estimatePair walks both profiles on a coarse grid (both normalized to
+// their own durations, modeling time-sliced progress) and accumulates
+// contention when combined demand exceeds device capacity.
+func estimatePair(a, b *workload.Profile, gridPoints int) pairEstimate {
+	var e pairEstimate
+	if gridPoints < 2 {
+		gridPoints = 2
+	}
+	for k := 0; k < gridPoints; k++ {
+		fa := float64(k) / float64(gridPoints-1)
+		ua := a.LevelAt(fa * a.TotalSec())
+		ub := b.LevelAt(fa * b.TotalSec())
+		smOver := (ua.SMPct + ub.SMPct - 100) / 100
+		memOver := (ua.MemPct + ub.MemPct - 100) / 100
+		memSizeOver := (ua.MemSizePct + ub.MemSizePct - 100) / 100
+		if smOver > 0 {
+			e.meanContention += smOver
+		}
+		if memOver > 0 {
+			e.meanContention += memOver
+		}
+		if memSizeOver > 0 {
+			// Memory capacity overflow is fatal for co-location, not merely
+			// slow; weight it heavily so such pairs are rejected.
+			e.meanContention += 5 * memSizeOver
+		}
+		aActive := ua.SMPct > 1 || ua.MemPct > 1
+		bActive := ub.SMPct > 1 || ub.MemPct > 1
+		if aActive && bActive {
+			e.activeOverlap++
+		}
+	}
+	e.meanContention /= float64(gridPoints)
+	e.activeOverlap /= float64(gridPoints)
+	return e
+}
+
+// Colocate simulates pairing single-GPU jobs under the policy and reports
+// GPU-hour savings and slowdowns. Multi-GPU jobs and jobs without profiles
+// are carried through exclusively.
+func Colocate(specs []workload.JobSpec, policy ColocationPolicy, cfg ColocationConfig) ColocationReport {
+	rep := ColocationReport{Policy: policy, MeanSlowdown: 1}
+	type cand struct {
+		idx  int
+		prof *workload.Profile
+		dur  float64
+	}
+	var cands []cand
+	for i := range specs {
+		s := &specs[i]
+		rep.GPUHoursExclusive += float64(s.NumGPUs) * s.RunSec / 3600
+		if s.NumGPUs == 1 && len(s.Profiles) == 1 {
+			cands = append(cands, cand{idx: i, prof: s.Profiles[0], dur: s.RunSec})
+			rep.Jobs++
+		} else if s.IsGPU() {
+			rep.GPUHoursUsed += float64(s.NumGPUs) * s.RunSec / 3600
+		}
+	}
+	if policy == Exclusive {
+		for _, c := range cands {
+			rep.GPUHoursUsed += c.dur / 3600
+		}
+		rep.SavedFrac = 0
+		rep.MaxSlowdown = 1
+		return rep
+	}
+	// Keep submission order (specs are already sorted by submit time).
+	sort.Slice(cands, func(a, b int) bool { return cands[a].idx < cands[b].idx })
+
+	paired := make([]bool, len(cands))
+	var slowdowns []float64
+	for i := range cands {
+		if paired[i] {
+			continue
+		}
+		bestJ := -1
+		var bestScore float64
+		limit := i + cfg.WindowSize
+		if limit > len(cands) {
+			limit = len(cands)
+		}
+		for j := i + 1; j < limit; j++ {
+			if paired[j] {
+				continue
+			}
+			// Static pairing can only see averages; phase-aware judges the
+			// actual time-resolved overlap, so it both avoids synchronous
+			// bursts and admits hot-but-interleaved partners.
+			var score float64
+			if policy == PhaseAware {
+				e := estimatePair(cands[i].prof, cands[j].prof, cfg.GridPoints)
+				if e.meanContention > cfg.MaxMeanContention {
+					continue
+				}
+				score = e.meanContention + 0.5*e.activeOverlap
+			} else {
+				e := meanEstimate(cands[i].prof, cands[j].prof, cfg.GridPoints)
+				if e.meanContention > cfg.MaxMeanContention {
+					continue
+				}
+				score = e.meanContention
+			}
+			if bestJ == -1 || score < bestScore {
+				bestJ, bestScore = j, score
+			}
+		}
+		if bestJ == -1 {
+			rep.GPUHoursUsed += cands[i].dur / 3600
+			slowdowns = append(slowdowns, 1)
+			continue
+		}
+		paired[i], paired[bestJ] = true, true
+		rep.PairsFormed++
+		e := estimatePair(cands[i].prof, cands[bestJ].prof, cfg.GridPoints)
+		slow := 1 + cfg.SlowdownAlpha*e.meanContention
+		dA := cands[i].dur * slow
+		dB := cands[bestJ].dur * slow
+		span := dA
+		if dB > span {
+			span = dB
+		}
+		rep.GPUHoursUsed += span / 3600
+		slowdowns = append(slowdowns, slow, slow)
+		if slow > rep.MaxSlowdown {
+			rep.MaxSlowdown = slow
+		}
+	}
+	if rep.GPUHoursExclusive > 0 {
+		rep.SavedFrac = 1 - rep.GPUHoursUsed/rep.GPUHoursExclusive
+	}
+	if len(slowdowns) > 0 {
+		var sum float64
+		for _, s := range slowdowns {
+			sum += s
+			if s > rep.MaxSlowdown {
+				rep.MaxSlowdown = s
+			}
+		}
+		rep.MeanSlowdown = sum / float64(len(slowdowns))
+	}
+	if rep.MaxSlowdown < 1 {
+		rep.MaxSlowdown = 1
+	}
+	return rep
+}

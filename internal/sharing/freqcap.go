@@ -1,0 +1,68 @@
+package sharing
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// CapComparison is one row of the power-vs-frequency capping study: both
+// mechanisms tuned to the same per-GPU power target, compared by the
+// slowdown they inflict on the job population.
+type CapComparison struct {
+	TargetWatts float64
+	// PowerCap side (reactive: only jobs whose demand exceeds the cap slow
+	// down, and only while it does).
+	PowerCapMeanSlowdown float64
+	PowerCapImpactedFrac float64
+	// FrequencyCap side (static: every busy cycle of every job slows, but
+	// dynamic power falls cubically so caps are easier to hold).
+	FreqCapMeanSlowdown float64
+	FreqCapImpactedFrac float64
+}
+
+// CompareCapping evaluates both mechanisms at each power target over the
+// dataset's GPU jobs — the extension study the paper's related work points
+// to (Patki et al.). The busy fraction of each job is approximated by its
+// mean SM utilization relative to its peak, falling back to the mean/100.
+func CompareCapping(ds *trace.Dataset, spec gpu.Spec, targets []float64) ([]CapComparison, error) {
+	jobs := ds.GPUJobs()
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("sharing: no GPU jobs to study")
+	}
+	var out []CapComparison
+	for _, target := range targets {
+		if target <= spec.IdleWatts || target > spec.TDPWatts {
+			return nil, fmt.Errorf("sharing: target %.0f W outside (%v, %v]", target, spec.IdleWatts, spec.TDPWatts)
+		}
+		var row CapComparison
+		row.TargetWatts = target
+		var pcSum, fcSum float64
+		var pcHit, fcHit float64
+		for _, j := range jobs {
+			avg := j.GPU[metrics.Power].Mean
+			max := j.GPU[metrics.Power].Max
+			busy := j.GPU[metrics.SMUtil].Mean / 100
+
+			pc := gpu.ThrottleSlowdown(spec, avg, target)
+			pcSum += pc
+			if pc > 1 {
+				pcHit++
+			}
+			fc := gpu.JobFrequencySlowdown(spec, avg, max, busy, target)
+			fcSum += fc
+			if fc > 1 {
+				fcHit++
+			}
+		}
+		n := float64(len(jobs))
+		row.PowerCapMeanSlowdown = pcSum / n
+		row.PowerCapImpactedFrac = pcHit / n
+		row.FreqCapMeanSlowdown = fcSum / n
+		row.FreqCapImpactedFrac = fcHit / n
+		out = append(out, row)
+	}
+	return out, nil
+}

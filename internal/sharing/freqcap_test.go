@@ -1,0 +1,52 @@
+package sharing
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/trace"
+)
+
+func TestCompareCapping(t *testing.T) {
+	_, ds := population(t)
+	rows, err := CompareCapping(ds, gpu.V100(), []float64{150, 200, 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.PowerCapMeanSlowdown < 1 || r.FreqCapMeanSlowdown < 1 {
+			t.Fatalf("row %d slowdowns below 1: %+v", i, r)
+		}
+		// Frequency capping is static and must hold the peak, so it touches
+		// at least as many jobs as the reactive power cap.
+		if r.FreqCapImpactedFrac < r.PowerCapImpactedFrac {
+			t.Fatalf("row %d: freq impacts %v < power impacts %v",
+				i, r.FreqCapImpactedFrac, r.PowerCapImpactedFrac)
+		}
+	}
+	// Looser targets impact monotonically fewer jobs.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].PowerCapImpactedFrac > rows[i-1].PowerCapImpactedFrac+1e-9 {
+			t.Fatalf("power-cap impact not monotone: %+v", rows)
+		}
+		if rows[i].FreqCapImpactedFrac > rows[i-1].FreqCapImpactedFrac+1e-9 {
+			t.Fatalf("freq-cap impact not monotone: %+v", rows)
+		}
+	}
+	t.Logf("150W: power-cap slow %.3f (%.1f%% hit) vs freq-cap slow %.3f (%.1f%% hit)",
+		rows[0].PowerCapMeanSlowdown, rows[0].PowerCapImpactedFrac*100,
+		rows[0].FreqCapMeanSlowdown, rows[0].FreqCapImpactedFrac*100)
+}
+
+func TestCompareCappingValidation(t *testing.T) {
+	_, ds := population(t)
+	if _, err := CompareCapping(ds, gpu.V100(), []float64{10}); err == nil {
+		t.Fatal("target below idle accepted")
+	}
+	if _, err := CompareCapping(trace.NewDataset(1), gpu.V100(), []float64{150}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}

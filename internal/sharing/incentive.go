@@ -1,0 +1,154 @@
+package sharing
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// The paper's §VIII operator recommendation: "the system operator can
+// leverage the low resource utilization based on the job category to
+// incentivize users for co-location, using coupon-based incentives or other
+// mechanisms [GIFT]". IncentiveStudy implements that mechanism: users who
+// opt their jobs into GPU sharing absorb measured interference and are
+// compensated with coupons proportional to the slowdown they suffered;
+// coupons convert into priority credit (modeled as future queue-wait
+// reduction) funded by the GPU hours the operator saved.
+
+// IncentiveConfig tunes the coupon mechanism.
+type IncentiveConfig struct {
+	// Colocation carries the pairing rules.
+	Colocation ColocationConfig
+	// CouponPerSlowdownHour is the coupon grant per (slowdown-1)×hour of
+	// dilated run time a participant absorbs.
+	CouponPerSlowdownHour float64
+	// CreditPerSavedGPUHour is the operator's budget: coupons are honored
+	// from the saved GPU hours, at this exchange rate.
+	CreditPerSavedGPUHour float64
+}
+
+// DefaultIncentiveConfig returns a balanced mechanism.
+func DefaultIncentiveConfig() IncentiveConfig {
+	return IncentiveConfig{
+		Colocation:            DefaultColocationConfig(),
+		CouponPerSlowdownHour: 1,
+		CreditPerSavedGPUHour: 1,
+	}
+}
+
+// UserIncentive is one user's ledger entry.
+type UserIncentive struct {
+	User          int
+	JobsShared    int
+	SlowdownHours float64 // Σ (slowdown−1) × run hours absorbed
+	CouponsEarned float64
+}
+
+// IncentiveResult is the mechanism's outcome.
+type IncentiveResult struct {
+	// Ledger is sorted by coupons earned, descending.
+	Ledger []UserIncentive
+	// SavedGPUHours funds the coupon pool.
+	SavedGPUHours float64
+	// CouponPool is the operator's budget at the exchange rate.
+	CouponPool float64
+	// TotalCoupons is the sum granted; Solvent reports whether the saved
+	// hours cover the grants (the mechanism is self-funding when true).
+	TotalCoupons float64
+	Solvent      bool
+	Participants int
+}
+
+// IncentiveStudy runs phase-aware pairing over the population, attributes
+// each pair's interference to both members' owners, and settles the coupon
+// ledger against the saved GPU hours.
+func IncentiveStudy(specs []workload.JobSpec, cfg IncentiveConfig) (IncentiveResult, error) {
+	if cfg.CouponPerSlowdownHour <= 0 || cfg.CreditPerSavedGPUHour <= 0 {
+		return IncentiveResult{}, fmt.Errorf("sharing: non-positive incentive rates")
+	}
+	var res IncentiveResult
+	type cand struct {
+		idx  int
+		prof *workload.Profile
+	}
+	var cands []cand
+	for i := range specs {
+		s := &specs[i]
+		if s.NumGPUs == 1 && len(s.Profiles) == 1 {
+			cands = append(cands, cand{idx: i, prof: s.Profiles[0]})
+		}
+	}
+	ledger := map[int]*UserIncentive{}
+	paired := make([]bool, len(cands))
+	ccfg := cfg.Colocation
+	for i := range cands {
+		if paired[i] {
+			continue
+		}
+		bestJ := -1
+		var bestScore float64
+		limit := i + ccfg.WindowSize
+		if limit > len(cands) {
+			limit = len(cands)
+		}
+		for j := i + 1; j < limit; j++ {
+			if paired[j] {
+				continue
+			}
+			e := estimatePair(cands[i].prof, cands[j].prof, ccfg.GridPoints)
+			if e.meanContention > ccfg.MaxMeanContention {
+				continue
+			}
+			score := e.meanContention + 0.5*e.activeOverlap
+			if bestJ == -1 || score < bestScore {
+				bestJ, bestScore = j, score
+			}
+		}
+		if bestJ == -1 {
+			continue
+		}
+		paired[i], paired[bestJ] = true, true
+		a, b := &specs[cands[i].idx], &specs[cands[bestJ].idx]
+		e := estimatePair(cands[i].prof, cands[bestJ].prof, ccfg.GridPoints)
+		slow := 1 + ccfg.SlowdownAlpha*e.meanContention
+
+		// Saved hours: two exclusive GPUs for their runs collapse onto one
+		// GPU for the dilated span.
+		spanH := maxFloat(a.RunSec, b.RunSec) * slow / 3600
+		res.SavedGPUHours += a.RunSec/3600 + b.RunSec/3600 - spanH
+
+		for _, sp := range []*workload.JobSpec{a, b} {
+			ent := ledger[sp.User]
+			if ent == nil {
+				ent = &UserIncentive{User: sp.User}
+				ledger[sp.User] = ent
+			}
+			ent.JobsShared++
+			absorbed := (slow - 1) * sp.RunSec / 3600
+			ent.SlowdownHours += absorbed
+			ent.CouponsEarned += absorbed * cfg.CouponPerSlowdownHour
+			res.TotalCoupons += absorbed * cfg.CouponPerSlowdownHour
+		}
+	}
+	for _, ent := range ledger {
+		res.Ledger = append(res.Ledger, *ent)
+		res.Participants++
+	}
+	sort.Slice(res.Ledger, func(a, b int) bool {
+		if res.Ledger[a].CouponsEarned != res.Ledger[b].CouponsEarned {
+			return res.Ledger[a].CouponsEarned > res.Ledger[b].CouponsEarned
+		}
+		return res.Ledger[a].User < res.Ledger[b].User
+	})
+	res.CouponPool = res.SavedGPUHours * cfg.CreditPerSavedGPUHour
+	res.Solvent = res.CouponPool >= res.TotalCoupons
+	return res, nil
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,122 @@
+package sharing
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/slurm"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func TestMergeForColocationPairsAdjacentCoolJobs(t *testing.T) {
+	mk := func(id int64, submit float64, sm float64) workload.JobSpec {
+		p, _ := workload.NewProfile([]workload.Phase{
+			{DurSec: 1000, Active: true, Level: gpu.Utilization{SMPct: sm, MemPct: 3, MemSizePct: 20}},
+		}, 0)
+		return workload.JobSpec{
+			ID: id, SubmitSec: submit, RunSec: 1000, LimitSec: 86400,
+			NumGPUs: 1, CoresPerGPU: 4, MemGBPerGPU: 16,
+			Profiles: []*workload.Profile{p},
+		}
+	}
+	specs := []workload.JobSpec{mk(1, 0, 20), mk(2, 100, 25), mk(3, 99999, 20)}
+	plan := MergeForColocation(specs, DefaultColocationConfig(), 3600)
+	if plan.PairsFormed != 1 {
+		t.Fatalf("pairs = %d, want 1 (job 3 is too far away)", plan.PairsFormed)
+	}
+	if plan.Partner[1] != 2 || plan.Partner[2] != 1 {
+		t.Fatalf("partners: %+v", plan.Partner)
+	}
+	if len(plan.Merged) != 2 {
+		t.Fatalf("merged list has %d entries", len(plan.Merged))
+	}
+	bundle := plan.Merged[0]
+	if bundle.ID != 1 || bundle.NumGPUs != 1 {
+		t.Fatalf("bundle: %+v", bundle)
+	}
+	// Span covers the later member's completion offset.
+	if bundle.RunSec < 1100 {
+		t.Fatalf("bundle span = %v, want >= 1100", bundle.RunSec)
+	}
+	// Combined host request.
+	if bundle.CoresPerGPU != 8 || bundle.MemGBPerGPU != 32 {
+		t.Fatalf("bundle host request: %d cores, %v GB", bundle.CoresPerGPU, bundle.MemGBPerGPU)
+	}
+	// Combined profile sums the levels.
+	u := bundle.Profiles[0].LevelAt(500)
+	if u.SMPct < 40 || u.SMPct > 50 {
+		t.Fatalf("combined SM = %v, want ~45", u.SMPct)
+	}
+}
+
+func TestMergeRefusesHotPairs(t *testing.T) {
+	mk := func(id int64) workload.JobSpec {
+		p, _ := workload.NewProfile([]workload.Phase{
+			{DurSec: 1000, Active: true, Level: gpu.Utilization{SMPct: 90, MemPct: 30, MemSizePct: 60}},
+		}, 0)
+		return workload.JobSpec{ID: id, SubmitSec: 0, RunSec: 1000, NumGPUs: 1,
+			CoresPerGPU: 4, MemGBPerGPU: 16, Profiles: []*workload.Profile{p}}
+	}
+	plan := MergeForColocation([]workload.JobSpec{mk(1), mk(2)}, DefaultColocationConfig(), 3600)
+	if plan.PairsFormed != 0 {
+		t.Fatal("hot jobs merged")
+	}
+	if len(plan.Merged) != 2 {
+		t.Fatalf("merged = %d", len(plan.Merged))
+	}
+}
+
+func TestMergePassesThroughMultiGPUJobs(t *testing.T) {
+	specs := []workload.JobSpec{{ID: 1, NumGPUs: 4, RunSec: 100}}
+	plan := MergeForColocation(specs, DefaultColocationConfig(), 3600)
+	if plan.PairsFormed != 0 || len(plan.Merged) != 1 || plan.Merged[0].NumGPUs != 4 {
+		t.Fatalf("multi-GPU job mangled: %+v", plan)
+	}
+}
+
+// TestColocatedSchedulingReducesWaits is the queueing experiment: on a
+// saturated cluster, scheduling merged bundles cuts GPU queue waits versus
+// exclusive per-job GPUs.
+func TestColocatedSchedulingReducesWaits(t *testing.T) {
+	// 60 cool single-GPU jobs arriving quickly on a 2-node (4-GPU) cluster.
+	var specs []workload.JobSpec
+	for i := int64(1); i <= 60; i++ {
+		p, _ := workload.NewProfile([]workload.Phase{
+			{DurSec: 2000, Active: true, Level: gpu.Utilization{SMPct: 25, MemPct: 3, MemSizePct: 25}},
+		}, 0)
+		specs = append(specs, workload.JobSpec{
+			ID: i, SubmitSec: float64(i) * 30, RunSec: 2000, LimitSec: 86400,
+			NumGPUs: 1, CoresPerGPU: 2, MemGBPerGPU: 8,
+			Profiles: []*workload.Profile{p},
+		})
+	}
+	run := func(toRun []workload.JobSpec) float64 {
+		cfg := slurm.DefaultConfig()
+		cfg.Cluster.Nodes = 2
+		sim, err := slurm.NewSimulator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, _, err := sim.Run(toRun)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var waits []float64
+		for _, r := range results {
+			waits = append(waits, r.WaitSec)
+		}
+		return stats.Mean(waits)
+	}
+	exclusiveWait := run(specs)
+	plan := MergeForColocation(specs, DefaultColocationConfig(), 1800)
+	if plan.PairsFormed < 20 {
+		t.Fatalf("only %d pairs formed", plan.PairsFormed)
+	}
+	mergedWait := run(plan.Merged)
+	if mergedWait >= exclusiveWait {
+		t.Fatalf("co-located scheduling did not cut waits: %v vs %v", mergedWait, exclusiveWait)
+	}
+	t.Logf("mean GPU wait: exclusive %.0fs vs co-located %.0fs (%d pairs)",
+		exclusiveWait, mergedWait, plan.PairsFormed)
+}

@@ -1,0 +1,79 @@
+// Package sharing implements the paper's opportunity studies — the what-if
+// analyses its takeaways call for: power-capped over-provisioning (Fig. 9b),
+// idle-phase-aware GPU co-location (§III/§VI takeaways, with exclusive and
+// Gandiva-style time-slicing baselines), multi-tier GPU fleet economics
+// (§VIII operator recommendation), and a checkpoint/restart planner for
+// development/IDE state-saving (§VI takeaway).
+package sharing
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// CapLevel is one row of the Fig. 9b study.
+type CapLevel struct {
+	CapWatts float64
+	// UnimpactedFrac: neither average nor peak draw reaches the cap.
+	UnimpactedFrac float64
+	// PeakImpactedFrac: only the peak exceeds the cap (brief throttling).
+	PeakImpactedFrac float64
+	// AvgImpactedFrac: the average draw exceeds the cap (sustained
+	// throttling).
+	AvgImpactedFrac float64
+	// ExtraGPUsSupportable is how many additional GPUs the same power budget
+	// feeds at this cap (over-provisioning head-room).
+	ExtraGPUsSupportable int
+	// MeanSlowdown is the average run-time dilation over all jobs under the
+	// cap (1.0 = unaffected), using the energy-headroom throttle model.
+	MeanSlowdown float64
+}
+
+// PowerCapResult is the full Fig. 9b study.
+type PowerCapResult struct {
+	Levels []CapLevel
+	Jobs   int
+}
+
+// PowerCapStudy evaluates the job population under each cap level. spec is
+// the fleet's GPU model (V100: 300 W TDP); fleetGPUs is the installed count
+// used for the over-provisioning arithmetic.
+func PowerCapStudy(ds *trace.Dataset, spec gpu.Spec, fleetGPUs int, capsWatts []float64) (PowerCapResult, error) {
+	jobs := ds.GPUJobs()
+	res := PowerCapResult{Jobs: len(jobs)}
+	if len(jobs) == 0 {
+		return res, fmt.Errorf("sharing: no GPU jobs to study")
+	}
+	budget := spec.TDPWatts * float64(fleetGPUs)
+	for _, cap := range capsWatts {
+		if cap <= spec.IdleWatts || cap > spec.TDPWatts {
+			return res, fmt.Errorf("sharing: cap %.0f W outside (%v, %v]", cap, spec.IdleWatts, spec.TDPWatts)
+		}
+		var lvl CapLevel
+		lvl.CapWatts = cap
+		var slowSum float64
+		for _, j := range jobs {
+			avg, max := j.GPU[metrics.Power].Mean, j.GPU[metrics.Power].Max
+			switch gpu.ClassifyCapImpact(avg, max, cap) {
+			case gpu.CapNoImpact:
+				lvl.UnimpactedFrac++
+			case gpu.CapImpactsPeak:
+				lvl.PeakImpactedFrac++
+			default:
+				lvl.AvgImpactedFrac++
+			}
+			slowSum += gpu.ThrottleSlowdown(spec, avg, cap)
+		}
+		n := float64(len(jobs))
+		lvl.UnimpactedFrac /= n
+		lvl.PeakImpactedFrac /= n
+		lvl.AvgImpactedFrac /= n
+		lvl.MeanSlowdown = slowSum / n
+		lvl.ExtraGPUsSupportable = int(budget/cap) - fleetGPUs
+		res.Levels = append(res.Levels, lvl)
+	}
+	return res, nil
+}

@@ -1,0 +1,259 @@
+package sharing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// sharedPopulation caches one generated population for the studies.
+var sharedPop struct {
+	specs []workload.JobSpec
+	ds    *trace.Dataset
+}
+
+func population(t *testing.T) ([]workload.JobSpec, *trace.Dataset) {
+	t.Helper()
+	if sharedPop.ds == nil {
+		cfg := workload.ScaledConfig(0.05)
+		cfg.Seed = 21
+		g, err := workload.NewGenerator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedPop.specs = g.GenerateSpecs()
+		sharedPop.ds = g.BuildDataset(sharedPop.specs)
+	}
+	return sharedPop.specs, sharedPop.ds
+}
+
+func TestPowerCapStudyFig9b(t *testing.T) {
+	_, ds := population(t)
+	res, err := PowerCapStudy(ds, gpu.V100(), 448, []float64{150, 200, 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) != 3 {
+		t.Fatalf("levels = %d", len(res.Levels))
+	}
+	l150 := res.Levels[0]
+	// Paper: even at 150 W over 60 % of jobs are unimpacted and under 10 %
+	// are average-impacted.
+	if l150.UnimpactedFrac < 0.5 {
+		t.Errorf("150W unimpacted = %v, want > 0.5", l150.UnimpactedFrac)
+	}
+	if l150.AvgImpactedFrac > 0.15 {
+		t.Errorf("150W avg-impacted = %v, want < 0.15", l150.AvgImpactedFrac)
+	}
+	// Monotonicity: higher caps impact fewer jobs.
+	for i := 1; i < 3; i++ {
+		if res.Levels[i].UnimpactedFrac < res.Levels[i-1].UnimpactedFrac {
+			t.Errorf("unimpacted fraction not monotone: %+v", res.Levels)
+		}
+	}
+	// 150 W cap on a 300 W budget supports double the fleet.
+	if l150.ExtraGPUsSupportable != 448 {
+		t.Errorf("extra GPUs at 150W = %d, want 448", l150.ExtraGPUsSupportable)
+	}
+	// Band sums to 1.
+	if s := l150.UnimpactedFrac + l150.PeakImpactedFrac + l150.AvgImpactedFrac; math.Abs(s-1) > 1e-9 {
+		t.Errorf("bands sum to %v", s)
+	}
+	if l150.MeanSlowdown < 1 {
+		t.Errorf("mean slowdown = %v", l150.MeanSlowdown)
+	}
+}
+
+func TestPowerCapStudyValidation(t *testing.T) {
+	_, ds := population(t)
+	if _, err := PowerCapStudy(ds, gpu.V100(), 448, []float64{10}); err == nil {
+		t.Fatal("cap below idle accepted")
+	}
+	if _, err := PowerCapStudy(trace.NewDataset(1), gpu.V100(), 448, []float64{150}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestColocationPolicies(t *testing.T) {
+	specs, _ := population(t)
+	cfg := DefaultColocationConfig()
+	excl := Colocate(specs, Exclusive, cfg)
+	static := Colocate(specs, StaticPairing, cfg)
+	phase := Colocate(specs, PhaseAware, cfg)
+
+	if excl.SavedFrac != 0 || excl.PairsFormed != 0 {
+		t.Fatalf("exclusive baseline saved %v with %d pairs", excl.SavedFrac, excl.PairsFormed)
+	}
+	if static.PairsFormed == 0 {
+		t.Fatal("static pairing formed no pairs despite low average utilization")
+	}
+	if static.SavedFrac <= 0 {
+		t.Fatalf("static pairing saved %v", static.SavedFrac)
+	}
+	if phase.SavedFrac <= 0 {
+		t.Fatalf("phase-aware saved %v", phase.SavedFrac)
+	}
+	// Both sharing policies conserve the exclusive-hour accounting base.
+	if math.Abs(static.GPUHoursExclusive-excl.GPUHoursExclusive) > 1e-6 {
+		t.Fatal("exclusive-hour base differs between policies")
+	}
+	// Phase-aware slowdowns stay bounded by the contention threshold, while
+	// static pairing (means only) can realize worse collisions — the reason
+	// the paper asks for phase-aware co-location tools.
+	maxAllowed := 1 + cfg.SlowdownAlpha*cfg.MaxMeanContention + 1e-9
+	if phase.MaxSlowdown > maxAllowed {
+		t.Fatalf("phase-aware max slowdown %v exceeds contention bound %v", phase.MaxSlowdown, maxAllowed)
+	}
+	if static.MaxSlowdown < phase.MaxSlowdown {
+		t.Fatalf("static pairing should risk worse collisions: static %v < phase %v",
+			static.MaxSlowdown, phase.MaxSlowdown)
+	}
+	t.Logf("colocation: static saved=%.3f pairs=%d; phase saved=%.3f pairs=%d",
+		static.SavedFrac, static.PairsFormed, phase.SavedFrac, phase.PairsFormed)
+}
+
+func TestColocationRejectsHotPairs(t *testing.T) {
+	// Two fully-busy jobs must not share a GPU.
+	mk := func(id int64) workload.JobSpec {
+		p, _ := workload.NewProfile([]workload.Phase{
+			{DurSec: 1000, Active: true, Level: gpu.Utilization{SMPct: 90, MemPct: 40, MemSizePct: 60}},
+		}, 0)
+		return workload.JobSpec{ID: id, NumGPUs: 1, RunSec: 1000, Profiles: []*workload.Profile{p}}
+	}
+	specs := []workload.JobSpec{mk(1), mk(2)}
+	rep := Colocate(specs, StaticPairing, DefaultColocationConfig())
+	if rep.PairsFormed != 0 {
+		t.Fatal("hot pair was co-located")
+	}
+}
+
+func TestColocationPairsComplementaryJobs(t *testing.T) {
+	// A compute-bound and a memory-staging job fit together.
+	pA, _ := workload.NewProfile([]workload.Phase{
+		{DurSec: 1000, Active: true, Level: gpu.Utilization{SMPct: 70, MemPct: 5, MemSizePct: 30}},
+	}, 0)
+	pB, _ := workload.NewProfile([]workload.Phase{
+		{DurSec: 1000, Active: true, Level: gpu.Utilization{SMPct: 3, MemPct: 20, MemSizePct: 30}},
+	}, 0)
+	specs := []workload.JobSpec{
+		{ID: 1, NumGPUs: 1, RunSec: 1000, Profiles: []*workload.Profile{pA}},
+		{ID: 2, NumGPUs: 1, RunSec: 1000, Profiles: []*workload.Profile{pB}},
+	}
+	rep := Colocate(specs, StaticPairing, DefaultColocationConfig())
+	if rep.PairsFormed != 1 {
+		t.Fatalf("complementary pair not formed: %+v", rep)
+	}
+	if rep.SavedFrac < 0.45 {
+		t.Fatalf("saved fraction %v, want ~0.5", rep.SavedFrac)
+	}
+}
+
+func TestTwoTierStudy(t *testing.T) {
+	_, ds := population(t)
+	res, err := TwoTierStudy(ds, DefaultTierPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TwoTier.SlowGPUs == 0 || res.TwoTier.FastGPUs == 0 {
+		t.Fatalf("degenerate fleet: %+v", res.TwoTier)
+	}
+	// The recommendation's point: two tiers cost less.
+	if res.CapexSavingsFrac <= 0 {
+		t.Fatalf("two-tier plan saves nothing: %+v", res)
+	}
+	// Low-utilization categories barely slow down on T4s.
+	if res.TwoTier.MeanSlowdownByCategory[trace.IDE] > 1.5 {
+		t.Errorf("IDE slowdown on slow tier = %v", res.TwoTier.MeanSlowdownByCategory[trace.IDE])
+	}
+	if res.TwoTier.MeanSlowdownByCategory[trace.Mature] != 1 {
+		t.Errorf("mature jobs should stay on the fast tier")
+	}
+	if res.TwoTier.MeanSlowdown < 1 {
+		t.Errorf("slow-tier mean slowdown = %v", res.TwoTier.MeanSlowdown)
+	}
+	t.Logf("two-tier: capex %.0f -> %.0f (saved %.1f%%), slow-tier slowdown %.2f",
+		res.SingleTier.CapexUSD, res.TwoTier.CapexUSD, res.CapexSavingsFrac*100, res.TwoTier.MeanSlowdown)
+}
+
+func TestTwoTierValidation(t *testing.T) {
+	_, ds := population(t)
+	bad := DefaultTierPlan()
+	bad.UtilizationHeadroom = 0
+	if _, err := TwoTierStudy(ds, bad); err == nil {
+		t.Fatal("zero headroom accepted")
+	}
+	if _, err := TwoTierStudy(trace.NewDataset(1), DefaultTierPlan()); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestOptimalInterval(t *testing.T) {
+	// Young–Daly: sqrt(2*30*43200) for a 12 h MTBF and 30 s overhead.
+	want := math.Sqrt(2 * 30 * 43200)
+	if got := OptimalInterval(30, 43200); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("interval = %v, want %v", got, want)
+	}
+	if !math.IsNaN(OptimalInterval(0, 100)) {
+		t.Fatal("zero overhead should be NaN")
+	}
+}
+
+func TestCheckpointStudy(t *testing.T) {
+	_, ds := population(t)
+	rep, err := CheckpointStudy(ds, DefaultCheckpointConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.JobsCovered == 0 {
+		t.Fatal("no development/IDE jobs covered")
+	}
+	if rep.SavedGPUHours <= 0 {
+		t.Fatalf("checkpointing saves %v GPU hours", rep.SavedGPUHours)
+	}
+	if rep.LostGPUHoursWithCkpt >= rep.LostGPUHoursNoCkpt {
+		t.Fatal("checkpointing did not reduce lost work")
+	}
+	if rep.IntervalSec <= 0 {
+		t.Fatalf("interval = %v", rep.IntervalSec)
+	}
+	t.Logf("checkpoint: %d jobs, lost %.0f -> %.0f GPUh (saved %.0f, interval %.0fs)",
+		rep.JobsCovered, rep.LostGPUHoursNoCkpt, rep.LostGPUHoursWithCkpt, rep.SavedGPUHours, rep.IntervalSec)
+}
+
+func TestCheckpointValidation(t *testing.T) {
+	if _, err := CheckpointStudy(trace.NewDataset(1), CheckpointConfig{OverheadSec: 0}); err == nil {
+		t.Fatal("zero overhead accepted")
+	}
+	rep, err := CheckpointStudy(trace.NewDataset(1), DefaultCheckpointConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.JobsCovered != 0 || rep.SavedGPUHours != 0 {
+		t.Fatal("empty dataset produced savings")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if Exclusive.String() != "exclusive" || PhaseAware.String() != "phase-aware" {
+		t.Fatal("policy names wrong")
+	}
+	if ColocationPolicy(9).String() == "" {
+		t.Fatal("unknown policy name empty")
+	}
+}
+
+// Verify the power summary fields the cap study relies on exist in the
+// generated dataset (mean <= max).
+func TestPowerSummariesSane(t *testing.T) {
+	_, ds := population(t)
+	for _, j := range ds.GPUJobs() {
+		p := j.GPU[metrics.Power]
+		if !(p.Mean <= p.Max+1e-9) {
+			t.Fatalf("job %d power mean %v > max %v", j.JobID, p.Mean, p.Max)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package sharing
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// TimeSliceConfig models Gandiva-style introspective time-sharing: several
+// jobs are multiplexed on one GPU, each swapped in for its active phases and
+// out during its idle phases, paying a suspend/resume cost per switch (GPU
+// state must be saved and restored through host memory).
+type TimeSliceConfig struct {
+	// JobsPerGPU is the multiplexing degree.
+	JobsPerGPU int
+	// SwapOverheadSec is the suspend+resume cost charged per context switch
+	// (Gandiva reports sub-second to a few seconds depending on model size).
+	SwapOverheadSec float64
+	// QuantumSec bounds how long a job may hold the GPU before the
+	// scheduler re-evaluates, even while active.
+	QuantumSec float64
+	// MaxGroupActiveFrac is the introspection rule: members are grouped
+	// only while the sum of their active-time fractions stays under this
+	// budget (Gandiva's insight — share GPUs between jobs whose busy phases
+	// can interleave). Jobs that fit no group run exclusively.
+	MaxGroupActiveFrac float64
+}
+
+// DefaultTimeSliceConfig returns Gandiva-shaped defaults.
+func DefaultTimeSliceConfig() TimeSliceConfig {
+	return TimeSliceConfig{JobsPerGPU: 2, SwapOverheadSec: 2, QuantumSec: 600, MaxGroupActiveFrac: 1.1}
+}
+
+// TimeSliceReport summarizes a time-sharing simulation.
+type TimeSliceReport struct {
+	Jobs              int
+	GroupsFormed      int
+	GPUHoursExclusive float64
+	GPUHoursUsed      float64
+	SavedFrac         float64
+	// MeanStretch is the mean completion-time dilation relative to running
+	// alone (1.0 = no stretch).
+	MeanStretch float64
+	// SwapOverheadHours is the total GPU time burned in context switches.
+	SwapOverheadHours float64
+}
+
+// TimeSlice simulates round-robin time-sharing of single-GPU jobs in groups
+// of JobsPerGPU. Each group's GPU serves one member at a time; a member
+// only needs the device during its active phases, so a group whose members'
+// active demands sum below 1 finishes everyone with little stretch, while
+// saturated groups stretch proportionally. This is the Gandiva-like baseline
+// the co-location study compares against.
+func TimeSlice(specs []workload.JobSpec, cfg TimeSliceConfig) (TimeSliceReport, error) {
+	if cfg.JobsPerGPU < 1 {
+		return TimeSliceReport{}, fmt.Errorf("sharing: JobsPerGPU must be >= 1")
+	}
+	if cfg.QuantumSec <= 0 {
+		return TimeSliceReport{}, fmt.Errorf("sharing: non-positive quantum")
+	}
+	rep := TimeSliceReport{MeanStretch: 1}
+	type member struct {
+		prof       *workload.Profile
+		dur        float64
+		activeFrac float64
+	}
+	var members []member
+	for i := range specs {
+		s := &specs[i]
+		rep.GPUHoursExclusive += float64(s.NumGPUs) * s.RunSec / 3600
+		if s.NumGPUs == 1 && len(s.Profiles) == 1 {
+			members = append(members, member{
+				prof:       s.Profiles[0],
+				dur:        s.RunSec,
+				activeFrac: s.Profiles[0].ActiveFraction(),
+			})
+			rep.Jobs++
+		} else if s.IsGPU() {
+			rep.GPUHoursUsed += float64(s.NumGPUs) * s.RunSec / 3600
+		}
+	}
+	if len(members) == 0 {
+		return rep, nil
+	}
+	// Introspective grouping: sort by active fraction and pack greedily
+	// under the group activity budget; members that fit nowhere run alone.
+	sort.Slice(members, func(a, b int) bool { return members[a].activeFrac < members[b].activeFrac })
+	budget := cfg.MaxGroupActiveFrac
+	if budget <= 0 {
+		budget = 1.1
+	}
+	var groups [][]member
+	var current []member
+	var currentFrac float64
+	for _, m := range members {
+		if len(current) > 0 &&
+			(len(current) >= cfg.JobsPerGPU || currentFrac+m.activeFrac > budget) {
+			groups = append(groups, current)
+			current, currentFrac = nil, 0
+		}
+		current = append(current, m)
+		currentFrac += m.activeFrac
+	}
+	if len(current) > 0 {
+		groups = append(groups, current)
+	}
+	var stretchSum float64
+	var stretched int
+	for _, group := range groups {
+		rep.GroupsFormed++
+		// Contention model: while co-resident, the device grants each
+		// member's active work at rate 1/max(1, Σ active fractions) — the
+		// processor-sharing view of round-robin. A member completes after
+		// its active seconds (dilated by contention, plus its own switch
+		// overhead) interleaved with its idle seconds; the GPU is held
+		// until the last member finishes.
+		var fracSum float64
+		for _, m := range group {
+			fracSum += m.activeFrac
+		}
+		contention := fracSum
+		if contention < 1 {
+			contention = 1
+		}
+		var span float64
+		for _, m := range group {
+			activeSec := m.activeFrac * m.dur
+			switches := activeSec / cfg.QuantumSec
+			if switches < 1 && m.activeFrac > 0 {
+				switches = 1
+			}
+			overhead := switches * cfg.SwapOverheadSec
+			completion := activeSec*contention + (1-m.activeFrac)*m.dur + overhead
+			rep.SwapOverheadHours += overhead / 3600
+			if completion > span {
+				span = completion
+			}
+			if m.dur > 0 {
+				stretchSum += completion / m.dur
+				if completion > m.dur*1.001 {
+					stretched++
+				}
+			}
+		}
+		rep.GPUHoursUsed += span / 3600
+	}
+	_ = stretched
+	rep.MeanStretch = stretchSum / float64(len(members))
+	if rep.GPUHoursExclusive > 0 {
+		rep.SavedFrac = 1 - rep.GPUHoursUsed/rep.GPUHoursExclusive
+	}
+	return rep, nil
+}

@@ -1,0 +1,139 @@
+package sharing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/workload"
+)
+
+func mkSlicedSpec(t *testing.T, id int64, dur, activeFrac, sm float64) workload.JobSpec {
+	t.Helper()
+	var phases []workload.Phase
+	if idle := dur * (1 - activeFrac); idle > 0 {
+		phases = append(phases, workload.Phase{DurSec: idle, Active: false})
+	}
+	if act := dur * activeFrac; act > 0 {
+		phases = append(phases, workload.Phase{DurSec: act, Active: true, Level: gpu.Utilization{SMPct: sm}})
+	}
+	p, err := workload.NewProfile(phases, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workload.JobSpec{ID: id, NumGPUs: 1, RunSec: dur, Profiles: []*workload.Profile{p}}
+}
+
+func TestTimeSliceComplementaryJobs(t *testing.T) {
+	// Two jobs each 30 % active share one GPU with almost no stretch.
+	specs := []workload.JobSpec{
+		mkSlicedSpec(t, 1, 10000, 0.3, 60),
+		mkSlicedSpec(t, 2, 10000, 0.3, 60),
+	}
+	rep, err := TimeSlice(specs, DefaultTimeSliceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GroupsFormed != 1 || rep.Jobs != 2 {
+		t.Fatalf("grouping: %+v", rep)
+	}
+	// Exclusive: 2 GPU × 10000 s; shared: one GPU for ~10000 s → ~50 % saved.
+	if rep.SavedFrac < 0.45 {
+		t.Fatalf("saved %v, want ~0.5", rep.SavedFrac)
+	}
+	if rep.MeanStretch > 1.05 {
+		t.Fatalf("stretch %v for complementary jobs", rep.MeanStretch)
+	}
+}
+
+func TestTimeSliceSaturatedGroupStretches(t *testing.T) {
+	// Two fully active jobs must serialize: span ≈ 2× duration. The
+	// introspection budget is lifted so the group actually forms — the
+	// default config would (correctly) refuse to share between them.
+	specs := []workload.JobSpec{
+		mkSlicedSpec(t, 1, 10000, 1, 80),
+		mkSlicedSpec(t, 2, 10000, 1, 80),
+	}
+	cfgSat := DefaultTimeSliceConfig()
+	cfgSat.MaxGroupActiveFrac = 2.5
+	rep, err := TimeSlice(specs, cfgSat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeanStretch < 1.9 {
+		t.Fatalf("stretch %v, want ~2 for saturated group", rep.MeanStretch)
+	}
+	// No GPU hours saved: serialization replaces parallel exclusive use.
+	if rep.SavedFrac > 0.05 {
+		t.Fatalf("saved %v on saturated pair", rep.SavedFrac)
+	}
+}
+
+func TestTimeSliceSwapOverheadAccounted(t *testing.T) {
+	cfg := DefaultTimeSliceConfig()
+	cfg.QuantumSec = 100
+	cfg.SwapOverheadSec = 10
+	specs := []workload.JobSpec{
+		mkSlicedSpec(t, 1, 10000, 1, 80),
+		mkSlicedSpec(t, 2, 10000, 1, 80),
+	}
+	rep, err := TimeSlice(specs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 × (10000/100) switches × 10 s = 2000 s ≈ 0.56 h.
+	if math.Abs(rep.SwapOverheadHours-2000.0/3600) > 0.01 {
+		t.Fatalf("overhead hours = %v", rep.SwapOverheadHours)
+	}
+}
+
+func TestTimeSliceIntrospectionRefusesHotGroups(t *testing.T) {
+	// Under the default budget, two fully-active jobs run exclusively.
+	specs := []workload.JobSpec{
+		mkSlicedSpec(t, 1, 10000, 1, 80),
+		mkSlicedSpec(t, 2, 10000, 1, 80),
+	}
+	rep, err := TimeSlice(specs, DefaultTimeSliceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GroupsFormed != 2 {
+		t.Fatalf("hot jobs grouped: %+v", rep)
+	}
+	if rep.MeanStretch > 1.01 {
+		t.Fatalf("exclusive members stretched: %v", rep.MeanStretch)
+	}
+}
+
+func TestTimeSliceValidation(t *testing.T) {
+	if _, err := TimeSlice(nil, TimeSliceConfig{JobsPerGPU: 0, QuantumSec: 1}); err == nil {
+		t.Fatal("zero multiplexing accepted")
+	}
+	if _, err := TimeSlice(nil, TimeSliceConfig{JobsPerGPU: 2, QuantumSec: 0}); err == nil {
+		t.Fatal("zero quantum accepted")
+	}
+	rep, err := TimeSlice(nil, DefaultTimeSliceConfig())
+	if err != nil || rep.Jobs != 0 {
+		t.Fatalf("empty input: %+v, %v", rep, err)
+	}
+}
+
+func TestTimeSliceOnGeneratedPopulation(t *testing.T) {
+	specs, _ := population(t)
+	rep, err := TimeSlice(specs, DefaultTimeSliceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs == 0 || rep.GroupsFormed == 0 {
+		t.Fatalf("degenerate run: %+v", rep)
+	}
+	// The workload is mostly idle, so time-sharing should save GPU hours.
+	if rep.SavedFrac <= 0 {
+		t.Fatalf("time slicing saved %v", rep.SavedFrac)
+	}
+	if rep.MeanStretch < 1 {
+		t.Fatalf("stretch %v < 1", rep.MeanStretch)
+	}
+	t.Logf("time-slicing: saved=%.3f stretch=%.2f overhead=%.1fh groups=%d",
+		rep.SavedFrac, rep.MeanStretch, rep.SwapOverheadHours, rep.GroupsFormed)
+}

@@ -1,0 +1,155 @@
+package sharing
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/lifecycle"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// TierPlan routes life-cycle categories to GPU tiers, the §VIII operator
+// recommendation: "it might be more cost-effective to mix [fast GPUs] with
+// some less-expensive, less-powerful GPUs for exploratory and IDE jobs".
+type TierPlan struct {
+	Fast gpu.Spec
+	Slow gpu.Spec
+	// SlowTierCategories lists the categories routed to the slow tier.
+	SlowTierCategories []trace.Category
+	// UtilizationHeadroom converts GPU-hour demand into installed GPUs:
+	// installed = demand-hours / (window-hours × headroom). Production
+	// systems plan well under 100 % occupancy.
+	UtilizationHeadroom float64
+}
+
+// DefaultTierPlan routes exploratory, development and IDE jobs to T4-class
+// devices and keeps mature jobs on V100s.
+func DefaultTierPlan() TierPlan {
+	return TierPlan{
+		Fast:                gpu.V100(),
+		Slow:                gpu.T4(),
+		SlowTierCategories:  []trace.Category{trace.Exploratory, trace.Development, trace.IDE},
+		UtilizationHeadroom: 0.25,
+	}
+}
+
+// TierOutcome summarizes one fleet design.
+type TierOutcome struct {
+	FastGPUs, SlowGPUs     int
+	CapexUSD               float64
+	MeanSlowdown           float64 // across slow-tier jobs
+	SlowTierGPUHours       float64
+	FastTierGPUHours       float64
+	SlowTierJobFrac        float64
+	MeanSlowdownByCategory [trace.NumCategories]float64
+}
+
+// TwoTierResult compares the single-tier fleet against the two-tier plan.
+type TwoTierResult struct {
+	SingleTier TierOutcome
+	TwoTier    TierOutcome
+	// CapexSavingsFrac is the fraction of acquisition cost saved.
+	CapexSavingsFrac float64
+}
+
+// slowdownOn estimates a job's run-time dilation when moved from `from` to
+// `to`: compute-bound jobs dilate with the performance ratio, idle-heavy
+// jobs barely notice — exactly why the recommendation targets low-utility,
+// low-utilization categories.
+func slowdownOn(j *trace.JobRecord, from, to gpu.Spec) float64 {
+	ratio := from.PerfScore / to.PerfScore
+	if ratio < 1 {
+		ratio = 1
+	}
+	busyFrac := j.GPU[metrics.SMUtil].Mean / 100
+	return 1 + (ratio-1)*busyFrac
+}
+
+// TwoTierStudy evaluates the plan over a dataset's GPU jobs.
+func TwoTierStudy(ds *trace.Dataset, plan TierPlan) (TwoTierResult, error) {
+	jobs := ds.GPUJobs()
+	if len(jobs) == 0 {
+		return TwoTierResult{}, fmt.Errorf("sharing: no GPU jobs to study")
+	}
+	if plan.UtilizationHeadroom <= 0 || plan.UtilizationHeadroom > 1 {
+		return TwoTierResult{}, fmt.Errorf("sharing: headroom %v out of (0,1]", plan.UtilizationHeadroom)
+	}
+	slowSet := map[trace.Category]bool{}
+	for _, c := range plan.SlowTierCategories {
+		slowSet[c] = true
+	}
+	windowHours := ds.DurationDays * 24
+	if windowHours <= 0 {
+		return TwoTierResult{}, fmt.Errorf("sharing: dataset has no observation window")
+	}
+
+	gpusFor := func(demandHours float64, spec gpu.Spec) int {
+		n := int(demandHours/(windowHours*plan.UtilizationHeadroom)) + 1
+		return n
+	}
+
+	var res TwoTierResult
+
+	// Single tier: everything on the fast device.
+	var totalHours float64
+	for _, j := range jobs {
+		totalHours += j.GPUHours()
+	}
+	res.SingleTier.FastTierGPUHours = totalHours
+	res.SingleTier.FastGPUs = gpusFor(totalHours, plan.Fast)
+	res.SingleTier.CapexUSD = float64(res.SingleTier.FastGPUs) * plan.Fast.PriceUSD
+	res.SingleTier.MeanSlowdown = 1
+	for c := range res.SingleTier.MeanSlowdownByCategory {
+		res.SingleTier.MeanSlowdownByCategory[c] = 1
+	}
+
+	// Two tiers: slow-tier jobs dilate, which also inflates their GPU-hour
+	// demand on the slow devices.
+	var slowHours, fastHours float64
+	var slowJobs float64
+	var slowSum [trace.NumCategories]float64
+	var slowCnt [trace.NumCategories]float64
+	for _, j := range jobs {
+		c := lifecycle.Classify(j)
+		if slowSet[c] {
+			s := slowdownOn(j, plan.Fast, plan.Slow)
+			slowHours += j.GPUHours() * s
+			slowJobs++
+			slowSum[c] += s
+			slowCnt[c]++
+		} else {
+			fastHours += j.GPUHours()
+			slowSum[c]++
+			slowCnt[c]++
+		}
+	}
+	res.TwoTier.FastTierGPUHours = fastHours
+	res.TwoTier.SlowTierGPUHours = slowHours
+	res.TwoTier.FastGPUs = gpusFor(fastHours, plan.Fast)
+	res.TwoTier.SlowGPUs = gpusFor(slowHours, plan.Slow)
+	res.TwoTier.CapexUSD = float64(res.TwoTier.FastGPUs)*plan.Fast.PriceUSD +
+		float64(res.TwoTier.SlowGPUs)*plan.Slow.PriceUSD
+	res.TwoTier.SlowTierJobFrac = slowJobs / float64(len(jobs))
+	var slowTotal, slowN float64
+	for c := trace.Category(0); c < trace.NumCategories; c++ {
+		if slowCnt[c] > 0 {
+			res.TwoTier.MeanSlowdownByCategory[c] = slowSum[c] / slowCnt[c]
+		} else {
+			res.TwoTier.MeanSlowdownByCategory[c] = 1
+		}
+		if slowSet[c] {
+			slowTotal += slowSum[c]
+			slowN += slowCnt[c]
+		}
+	}
+	if slowN > 0 {
+		res.TwoTier.MeanSlowdown = slowTotal / slowN
+	} else {
+		res.TwoTier.MeanSlowdown = 1
+	}
+	if res.SingleTier.CapexUSD > 0 {
+		res.CapexSavingsFrac = 1 - res.TwoTier.CapexUSD/res.SingleTier.CapexUSD
+	}
+	return res, nil
+}

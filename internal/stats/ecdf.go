@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution function over a fixed sample,
+// the workhorse presentation device of the paper (Figs. 3, 4, 6, 7, 9, 10,
+// 11, 14 are all empirical CDFs). It supports evaluation at arbitrary points,
+// inverse evaluation (quantiles), and export as plotted (x, F(x)) series.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF over xs. The input is copied and sorted; NaNs are
+// dropped because they carry no ordering information.
+func NewECDF(xs []float64) *ECDF {
+	s := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			s = append(s, x)
+		}
+	}
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// N returns the number of observations.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// At returns F(x) = P(X <= x), the fraction of observations at or below x.
+// It returns NaN for an empty ECDF.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	// Index of the first element strictly greater than x.
+	i := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the p-quantile with linear interpolation, consistent with
+// stats.Quantile.
+func (e *ECDF) Quantile(p float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	return quantileSorted(e.sorted, p)
+}
+
+// Median returns the 0.5 quantile.
+func (e *ECDF) Median() float64 { return e.Quantile(0.5) }
+
+// Min returns the smallest observation, or NaN when empty.
+func (e *ECDF) Min() float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	return e.sorted[0]
+}
+
+// Max returns the largest observation, or NaN when empty.
+func (e *ECDF) Max() float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	return e.sorted[len(e.sorted)-1]
+}
+
+// Point is one (X, F) vertex of a plotted CDF curve.
+type Point struct {
+	X float64 // observation value
+	F float64 // cumulative probability P(X <= x)
+}
+
+// Points returns up to maxPoints evenly spaced (by rank) vertices of the
+// step function, suitable for rendering. maxPoints <= 0 returns every
+// distinct observation.
+func (e *ECDF) Points(maxPoints int) []Point {
+	n := len(e.sorted)
+	if n == 0 {
+		return nil
+	}
+	stride := 1
+	if maxPoints > 0 && n > maxPoints {
+		stride = (n + maxPoints - 1) / maxPoints
+	}
+	var pts []Point
+	for i := 0; i < n; i += stride {
+		pts = append(pts, Point{X: e.sorted[i], F: float64(i+1) / float64(n)})
+	}
+	if last := e.sorted[n-1]; len(pts) == 0 || pts[len(pts)-1].X != last {
+		pts = append(pts, Point{X: last, F: 1})
+	}
+	return pts
+}
+
+// KolmogorovDistance returns the Kolmogorov–Smirnov statistic between this
+// ECDF and other: sup_x |F1(x) - F2(x)|. The calibration tests use it to
+// check that generated marginals track their target distributions, and the
+// Fig. 4b analysis uses it to quantify "approximately uniform".
+func (e *ECDF) KolmogorovDistance(other *ECDF) float64 {
+	if e.N() == 0 || other.N() == 0 {
+		return math.NaN()
+	}
+	var d float64
+	for _, x := range e.sorted {
+		if diff := math.Abs(e.At(x) - other.At(x)); diff > d {
+			d = diff
+		}
+	}
+	for _, x := range other.sorted {
+		if diff := math.Abs(e.At(x) - other.At(x)); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// UniformityDistance returns the KS statistic between this ECDF and the
+// continuous uniform distribution on [lo, hi]. A value near zero certifies
+// the "linearly increasing empirical CDF" the paper observes for PCIe
+// bandwidths in Fig. 4b.
+func (e *ECDF) UniformityDistance(lo, hi float64) float64 {
+	if e.N() == 0 || hi <= lo {
+		return math.NaN()
+	}
+	var d float64
+	for i, x := range e.sorted {
+		u := (x - lo) / (hi - lo)
+		if u < 0 {
+			u = 0
+		}
+		if u > 1 {
+			u = 1
+		}
+		// Compare against both step edges, per the one-sample KS definition.
+		fHi := float64(i+1) / float64(len(e.sorted))
+		fLo := float64(i) / float64(len(e.sorted))
+		if diff := math.Abs(fHi - u); diff > d {
+			d = diff
+		}
+		if diff := math.Abs(fLo - u); diff > d {
+			d = diff
+		}
+	}
+	return d
+}

@@ -1,0 +1,69 @@
+package stats
+
+import "math"
+
+// Histogram is a fixed-width-bin histogram over [Low, High). Values outside
+// the range are clamped into the edge bins so that no observation is lost,
+// which matters when binning percentages that can touch exactly 100.
+type Histogram struct {
+	Low, High float64
+	Counts    []int
+	total     int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over
+// [low, high). It panics if bins < 1 or high <= low — both are configuration
+// errors.
+func NewHistogram(low, high float64, bins int) *Histogram {
+	if bins < 1 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if high <= low {
+		panic("stats: histogram range is empty")
+	}
+	return &Histogram{Low: low, High: high, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	i := int((x - h.Low) / (h.High - h.Low) * float64(len(h.Counts)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// AddAll records every observation in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Fractions returns each bin's share of the total, or nil when empty.
+func (h *Histogram) Fractions() []float64 {
+	if h.total == 0 {
+		return nil
+	}
+	out := make([]float64, len(h.Counts))
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.High - h.Low) / float64(len(h.Counts))
+	return h.Low + w*(float64(i)+0.5)
+}

@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamingMatchesBatch(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var s Streaming
+	for _, x := range xs {
+		s.Add(x)
+	}
+	if s.N() != len(xs) {
+		t.Fatalf("N = %d", s.N())
+	}
+	if !almost(s.Mean(), Mean(xs), 1e-12) {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if !almost(s.Variance(), Variance(xs), 1e-12) {
+		t.Fatalf("variance = %v", s.Variance())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if !almost(s.CoVPct(), 40, 1e-9) {
+		t.Fatalf("CoV = %v", s.CoVPct())
+	}
+}
+
+func TestStreamingEmpty(t *testing.T) {
+	var s Streaming
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) ||
+		!math.IsNaN(s.Variance()) || !math.IsNaN(s.CoVPct()) {
+		t.Fatal("empty streaming accumulator should return NaN")
+	}
+}
+
+func TestStreamingMerge(t *testing.T) {
+	xs := []float64{1, 5, 2, 8, 3, 9, 4, 4, 7}
+	var whole, left, right Streaming
+	for i, x := range xs {
+		whole.Add(x)
+		if i < 4 {
+			left.Add(x)
+		} else {
+			right.Add(x)
+		}
+	}
+	left.Merge(&right)
+	if left.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", left.N(), whole.N())
+	}
+	if !almost(left.Mean(), whole.Mean(), 1e-12) {
+		t.Fatalf("merged mean = %v, want %v", left.Mean(), whole.Mean())
+	}
+	if !almost(left.Variance(), whole.Variance(), 1e-9) {
+		t.Fatalf("merged variance = %v, want %v", left.Variance(), whole.Variance())
+	}
+	if left.Min() != whole.Min() || left.Max() != whole.Max() {
+		t.Fatal("merged min/max mismatch")
+	}
+}
+
+func TestStreamingMergeWithEmpty(t *testing.T) {
+	var a, b Streaming
+	a.Add(3)
+	a.Merge(&b) // merging empty is a no-op
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Fatalf("merge with empty changed state: %+v", a)
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.N() != 1 || b.Mean() != 3 {
+		t.Fatalf("merge into empty: %+v", b)
+	}
+}
+
+// Property: streaming moments match batch moments for any input split.
+func TestStreamingMergeProperty(t *testing.T) {
+	f := func(raw []float64, splitRaw uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e8 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		split := int(splitRaw) % (len(xs) + 1)
+		var a, b Streaming
+		for _, x := range xs[:split] {
+			a.Add(x)
+		}
+		for _, x := range xs[split:] {
+			b.Add(x)
+		}
+		a.Merge(&b)
+		tol := 1e-6 * (1 + math.Abs(Mean(xs)))
+		vtol := 1e-6 * (1 + Variance(xs))
+		return a.N() == len(xs) &&
+			almost(a.Mean(), Mean(xs), tol) &&
+			almost(a.Variance(), Variance(xs), vtol)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcentrationTopShare(t *testing.T) {
+	// 10 users: one submits 91, the rest submit 1 each.
+	contrib := []float64{91, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	c := NewConcentration(contrib)
+	if c.N() != 10 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if share := c.TopShare(0.1); !almost(share, 0.91, 1e-12) {
+		t.Fatalf("top-10%% share = %v, want 0.91", share)
+	}
+	if share := c.TopShare(1.0); !almost(share, 1, 1e-12) {
+		t.Fatalf("top-100%% share = %v, want 1", share)
+	}
+}
+
+func TestConcentrationGini(t *testing.T) {
+	equal := NewConcentration([]float64{5, 5, 5, 5})
+	if g := equal.Gini(); !almost(g, 0, 1e-12) {
+		t.Fatalf("equal Gini = %v, want 0", g)
+	}
+	skewed := NewConcentration([]float64{100, 0, 0, 0})
+	if g := skewed.Gini(); g < 0.7 {
+		t.Fatalf("skewed Gini = %v, want high", g)
+	}
+}
+
+func TestLorenzCurve(t *testing.T) {
+	c := NewConcentration([]float64{3, 1})
+	pts := c.LorenzCurve()
+	if len(pts) != 2 {
+		t.Fatalf("curve has %d points", len(pts))
+	}
+	if !almost(pts[0].F, 0.75, 1e-12) || !almost(pts[1].F, 1, 1e-12) {
+		t.Fatalf("curve = %v", pts)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	h.AddAll([]float64{5, 15, 15, 95, 100, -3, math.NaN()})
+	// 100 clamps into last bin; -3 clamps into first; NaN dropped.
+	if h.Total() != 6 {
+		t.Fatalf("total = %d, want 6", h.Total())
+	}
+	if h.Counts[0] != 2 { // 5 and -3
+		t.Fatalf("bin0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 2 {
+		t.Fatalf("bin1 = %d, want 2", h.Counts[1])
+	}
+	if h.Counts[9] != 2 { // 95 and 100
+		t.Fatalf("bin9 = %d, want 2", h.Counts[9])
+	}
+	fr := h.Fractions()
+	var sum float64
+	for _, f := range fr {
+		sum += f
+	}
+	if !almost(sum, 1, 1e-12) {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+	if c := h.BinCenter(0); !almost(c, 5, 1e-12) {
+		t.Fatalf("bin center = %v", c)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,279 @@
+// Package stats reimplements, on the standard library alone, the estimators
+// the paper's analysis pipeline takes from SciPy/Pandas: empirical CDFs,
+// quantiles, coefficients of variation, Spearman rank correlation with
+// p-values, box-plot statistics, histograms, Lorenz/Gini concentration, and
+// streaming moments for datasets too large to hold resident.
+//
+// Conventions: quantiles use linear interpolation between closest ranks
+// (NumPy's default "linear" method) so that numbers are directly comparable
+// to the paper's SciPy-derived values. Functions that cannot produce a
+// defined result on their input (empty slices, zero means) return NaN rather
+// than panicking, because missing strata are routine in trace analysis.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN if xs is empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (divide by n), or NaN if xs
+// is empty. Population variance matches how the paper computes CoV over the
+// complete set of intervals of a run, which is a census, not a sample.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// CoV returns the coefficient of variation of xs expressed as a percentage
+// (stddev/mean × 100), the unit used throughout the paper's Figs. 6b, 7a, 11
+// and 14. It returns NaN for empty input or zero mean, and 0 for a single
+// observation (no dispersion is observable).
+func CoV(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if len(xs) == 1 {
+		return 0
+	}
+	m := Mean(xs)
+	if m == 0 {
+		return math.NaN()
+	}
+	return StdDev(xs) / math.Abs(m) * 100
+}
+
+// Min returns the minimum of xs, or NaN if xs is empty.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or NaN if xs is empty.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Quantile returns the p-quantile of xs (p in [0,1]) using linear
+// interpolation between closest ranks. It sorts a copy; use Quantiles or an
+// ECDF when many quantiles of the same data are needed.
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, p)
+}
+
+// Quantiles returns the quantiles of xs at each probability in ps, sorting
+// the data only once.
+func Quantiles(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	for i, p := range ps {
+		out[i] = quantileSorted(s, p)
+	}
+	return out
+}
+
+// Median returns the 0.5 quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// quantileSorted computes the linear-interpolated quantile of sorted data.
+func quantileSorted(s []float64, p float64) float64 {
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	pos := p * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Summary bundles the descriptive statistics reported for each metric in the
+// trace dataset (the paper collects min/mean/max per job, and the analyses
+// add quartiles and CoV).
+type Summary struct {
+	N             int
+	Min, Max      float64
+	Mean          float64
+	StdDev        float64
+	P25, P50, P75 float64
+	CoVPct        float64 // coefficient of variation, percent
+	Sum           float64
+}
+
+// Summarize computes a Summary of xs. An empty input yields a Summary with
+// N=0 and NaN statistics.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		nan := math.NaN()
+		s.Min, s.Max, s.Mean, s.StdDev = nan, nan, nan, nan
+		s.P25, s.P50, s.P75, s.CoVPct, s.Sum = nan, nan, nan, nan, 0
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.Sum = Sum(xs)
+	s.Mean = s.Sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(len(xs)))
+	s.P25 = quantileSorted(sorted, 0.25)
+	s.P50 = quantileSorted(sorted, 0.50)
+	s.P75 = quantileSorted(sorted, 0.75)
+	if s.Mean != 0 && len(xs) > 1 {
+		s.CoVPct = s.StdDev / math.Abs(s.Mean) * 100
+	} else if len(xs) == 1 {
+		s.CoVPct = 0
+	} else {
+		s.CoVPct = math.NaN()
+	}
+	return s
+}
+
+// BoxStats holds the five-number summary backing a box plot (paper Fig. 16),
+// with Tukey 1.5×IQR whiskers.
+type BoxStats struct {
+	N                       int
+	Median, Q1, Q3          float64
+	WhiskerLow, WhiskerHigh float64
+	Outliers                []float64
+}
+
+// Box computes box-plot statistics of xs.
+func Box(xs []float64) BoxStats {
+	b := BoxStats{N: len(xs)}
+	if len(xs) == 0 {
+		nan := math.NaN()
+		b.Median, b.Q1, b.Q3, b.WhiskerLow, b.WhiskerHigh = nan, nan, nan, nan, nan
+		return b
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	b.Q1 = quantileSorted(s, 0.25)
+	b.Median = quantileSorted(s, 0.50)
+	b.Q3 = quantileSorted(s, 0.75)
+	iqr := b.Q3 - b.Q1
+	loFence := b.Q1 - 1.5*iqr
+	hiFence := b.Q3 + 1.5*iqr
+	b.WhiskerLow, b.WhiskerHigh = math.NaN(), math.NaN()
+	for _, v := range s {
+		if v >= loFence {
+			b.WhiskerLow = v
+			break
+		}
+	}
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] <= hiFence {
+			b.WhiskerHigh = s[i]
+			break
+		}
+	}
+	for _, v := range s {
+		if v < loFence || v > hiFence {
+			b.Outliers = append(b.Outliers, v)
+		}
+	}
+	return b
+}
+
+// FractionAbove returns the fraction of xs strictly greater than threshold,
+// used for statements like "only 20 % of the jobs have more than 50 % SM
+// utilization" (paper §III).
+func FractionAbove(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	n := 0
+	for _, x := range xs {
+		if x > threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// FractionBelow returns the fraction of xs strictly less than threshold.
+func FractionBelow(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	n := 0
+	for _, x := range xs {
+		if x < threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCSV: arbitrary bytes must never panic the CSV reader; valid
+// round-trips must reproduce their input record count.
+func FuzzReadCSV(f *testing.F) {
+	d := NewDataset(1)
+	d.Add(gpuJob(1, 0, 600, 2))
+	d.Add(cpuJob(2, 1, 120))
+	var seed bytes.Buffer
+	if err := d.WriteCSV(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("job_id,user\n1,2\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, err := ReadCSV(bytes.NewReader(data), 1)
+		if err != nil {
+			return
+		}
+		// Anything accepted must survive re-encoding.
+		var buf bytes.Buffer
+		if err := ds.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted dataset failed to re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzReadJSON: arbitrary bytes must never panic the JSON reader.
+func FuzzReadJSON(f *testing.F) {
+	d := NewDataset(1)
+	d.Add(gpuJob(1, 0, 600, 1))
+	var seed bytes.Buffer
+	if err := d.WriteJSON(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("{}"))
+	f.Add([]byte("null"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := ds.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted dataset failed to re-encode: %v", err)
+		}
+	})
+}

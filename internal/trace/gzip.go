@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// WriteCSVGZ writes the gzip-compressed job table — paper-scale traces
+// compress roughly 4× and production sites archive months of them.
+func (d *Dataset) WriteCSVGZ(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	if err := d.WriteCSV(zw); err != nil {
+		zw.Close()
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("trace: closing gzip stream: %w", err)
+	}
+	return nil
+}
+
+// ReadCSVGZ reads a gzip-compressed job table.
+func ReadCSVGZ(r io.Reader, durationDays float64) (*Dataset, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: opening gzip stream: %w", err)
+	}
+	defer zr.Close()
+	return ReadCSV(zr, durationDays)
+}
+
+// WriteJSONGZ writes the gzip-compressed full dataset.
+func (d *Dataset) WriteJSONGZ(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	if err := d.WriteJSON(zw); err != nil {
+		zw.Close()
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("trace: closing gzip stream: %w", err)
+	}
+	return nil
+}
+
+// ReadJSONGZ reads a gzip-compressed full dataset.
+func ReadJSONGZ(r io.Reader) (*Dataset, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: opening gzip stream: %w", err)
+	}
+	defer zr.Close()
+	return ReadJSON(zr)
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"math"
+
+	"repro/internal/dist"
+)
+
+// ArrivalProcess samples job submission times over the trace window from an
+// inhomogeneous density with three structures the paper's operations section
+// describes: a diurnal cycle, lighter weekends, and load surges ahead of
+// deep-learning conference deadlines.
+type ArrivalProcess struct {
+	durationDays float64
+	weekend      float64
+	surge        float64
+	windowDays   float64
+	deadlines    []float64
+	maxDensity   float64
+}
+
+// NewArrivalProcess builds the process for a trace of durationDays.
+func NewArrivalProcess(c Calibration, durationDays float64) *ArrivalProcess {
+	a := &ArrivalProcess{
+		durationDays: durationDays,
+		weekend:      c.WeekendLoadFactor,
+		surge:        c.DeadlineSurgeFactor,
+		windowDays:   c.DeadlineWindowDays,
+		deadlines:    append([]float64(nil), c.DeadlineDays...),
+	}
+	// The density maximum: weekday diurnal peak inside a surge window.
+	a.maxDensity = 1.35 * a.surge
+	return a
+}
+
+// Density returns the relative arrival density at day offset d (fractional
+// days since trace start).
+func (a *ArrivalProcess) Density(d float64) float64 {
+	if d < 0 || d > a.durationDays {
+		return 0
+	}
+	// Diurnal: peak mid-day, trough at night.
+	frac := d - math.Floor(d)
+	density := 1 + 0.35*math.Sin(2*math.Pi*(frac-0.25))
+	// Weekly: days 5 and 6 of each week are weekend.
+	if int(math.Floor(d))%7 >= 5 {
+		density *= a.weekend
+	}
+	// Deadline surges: elevated load in the window before each deadline.
+	for _, dl := range a.deadlines {
+		if d >= dl-a.windowDays && d < dl {
+			density *= a.surge
+			break
+		}
+	}
+	return density
+}
+
+// SampleDay draws one submission time (in fractional days) by rejection
+// against the density envelope.
+func (a *ArrivalProcess) SampleDay(rng *dist.RNG) float64 {
+	for {
+		d := rng.Float64() * a.durationDays
+		if rng.Float64()*a.maxDensity <= a.Density(d) {
+			return d
+		}
+	}
+}
+
+// SampleSec draws one submission time in seconds since trace start.
+func (a *ArrivalProcess) SampleSec(rng *dist.RNG) float64 {
+	return a.SampleDay(rng) * 86400
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/gpu"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// ReplaySpecs reconstructs schedulable job specs from a recorded dataset, so
+// a trace written by tracegen (or, with a converter, a real Slurm/nvidia-smi
+// export) can be replayed through the discrete-event scheduler under
+// different policies. Scheduler-side fields copy over exactly; utilization
+// profiles are re-synthesized from each GPU's min/mean/max digest — the only
+// information production monitoring keeps — so replayed phase structure is
+// approximate while per-job means are preserved.
+func ReplaySpecs(ds *trace.Dataset, seed uint64) []JobSpec {
+	rng := dist.New(seed ^ 0x5EED5EED5EED5EED)
+	specs := make([]JobSpec, 0, len(ds.Jobs))
+	for i := range ds.Jobs {
+		j := &ds.Jobs[i]
+		sp := JobSpec{
+			ID:          j.JobID,
+			User:        j.User,
+			Interface:   j.Interface,
+			Exit:        j.Exit,
+			SubmitSec:   j.SubmitSec,
+			RunSec:      j.RunSec,
+			LimitSec:    j.LimitSec,
+			NumGPUs:     j.NumGPUs,
+			CoresPerGPU: j.CoresPerGPU,
+			Cores:       j.Cores,
+			MemGB:       j.MemGB,
+			Exclusive:   !j.IsGPU() && j.Cores >= 40,
+		}
+		if j.LimitSec <= 0 {
+			sp.LimitSec = 24 * 3600
+		}
+		if sp.RunSec > sp.LimitSec {
+			sp.LimitSec = sp.RunSec
+		}
+		if j.IsGPU() {
+			sp.Category = classifyForReplay(j)
+			if sp.CoresPerGPU == 0 {
+				sp.CoresPerGPU = 4
+			}
+			if j.NumGPUs > 0 {
+				sp.MemGBPerGPU = j.MemGB / float64(j.NumGPUs)
+			}
+			if sp.MemGBPerGPU <= 0 {
+				sp.MemGBPerGPU = 16
+			}
+			digests := j.PerGPU
+			if len(digests) != j.NumGPUs {
+				// Only the averaged digest survived (CSV path): give every
+				// GPU the same reconstructed profile.
+				digests = make([]metrics.MetricSummaries, j.NumGPUs)
+				for g := range digests {
+					digests[g] = j.GPU
+				}
+			}
+			for _, d := range digests {
+				sp.Profiles = append(sp.Profiles, ProfileFromSummary(d, j.RunSec, rng))
+			}
+		}
+		specs = append(specs, sp)
+	}
+	sort.Slice(specs, func(a, b int) bool { return specs[a].SubmitSec < specs[b].SubmitSec })
+	return specs
+}
+
+// classifyForReplay mirrors lifecycle.Classify without importing it (that
+// package sits above workload in the dependency order).
+func classifyForReplay(j *trace.JobRecord) trace.Category {
+	switch j.Exit {
+	case trace.ExitSuccess:
+		return trace.Mature
+	case trace.ExitCancelled:
+		return trace.Exploratory
+	case trace.ExitTimeout:
+		if j.Interface == trace.Interactive {
+			return trace.IDE
+		}
+		return trace.Development
+	default:
+		return trace.Development
+	}
+}
+
+// ProfileFromSummary synthesizes a phase-structured profile whose
+// duration-weighted means reproduce a recorded min/mean/max digest. The
+// reconstruction picks the active level between the recorded mean and max,
+// then solves the active fraction so the overall mean matches; saturation
+// digests (max at capacity) get a burst so bottleneck analyses survive the
+// round trip.
+func ProfileFromSummary(d metrics.MetricSummaries, runSec float64, rng *dist.RNG) *Profile {
+	sm := d[metrics.SMUtil]
+	mem := d[metrics.MemUtil]
+	msz := d[metrics.MemSize]
+	tx := d[metrics.PCIeTx]
+	rx := d[metrics.PCIeRx]
+
+	if sm.Mean < 0.5 && mem.Mean < 0.5 {
+		return IdleProfile(runSec, msz.Mean)
+	}
+	// Active level: midway between mean and max, bounded away from zero so
+	// the implied active fraction stays <= 1.
+	level := (sm.Mean + sm.Max) / 2
+	if level < sm.Mean {
+		level = sm.Mean
+	}
+	if level <= 0 {
+		level = 1
+	}
+	af := sm.Mean / level
+	if af > 1 {
+		af = 1
+	}
+	memLevel := 0.0
+	if af > 0 {
+		memLevel = mem.Mean / af
+	}
+	if memLevel > 100 {
+		memLevel = 100
+	}
+	phases := SynthesizePhases(PhaseParams{
+		DurSec:     runSec,
+		ActiveFrac: af,
+		Level: gpu.Utilization{
+			SMPct:      level,
+			MemPct:     memLevel,
+			MemSizePct: msz.Mean,
+			PCIeTxPct:  tx.Mean,
+			PCIeRxPct:  rx.Mean,
+		},
+		MeanCycles:  clampF(runSec/180, 1, 48),
+		SigmaActive: 1.35,
+		SigmaIdle:   1.05,
+		LevelJitter: 0, // exact mean reconstruction: no per-phase jitter
+		SMBurst:     sm.Max >= 99,
+		TxBurst:     tx.Max >= 99,
+		RxBurst:     rx.Max >= 99,
+	}, rng)
+	p, err := NewProfile(phases, 0)
+	if err != nil {
+		// SynthesizePhases guarantees at least one positive phase.
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/trace"
+)
+
+// User is one synthetic community member with the behavioral parameters the
+// paper's §IV shows to vary widely across users: activity level (job count),
+// characteristic run-time scale, utilization bias, life-cycle mix, and
+// multi-GPU propensity.
+type User struct {
+	Index int
+	// JobCount is the user's total submissions over the trace window.
+	JobCount int
+	// RankFrac is the user's activity percentile in [0, 1]; 1 is the most
+	// active user. Several behavioral dials key off it.
+	RankFrac float64
+	// RuntimeMedianMin is the user's median job run time in minutes;
+	// RuntimeLogSigma spreads individual jobs around it (Fig. 11).
+	RuntimeMedianMin, RuntimeLogSigma float64
+	// UtilBias multiplies the user's utilization levels (Fig. 12: expert
+	// users run hotter).
+	UtilBias float64
+	// CategoryMix draws life-cycle categories for the user's jobs.
+	CategoryMix *dist.Categorical
+	// MatureShare is the user's mature fraction (kept for Fig. 17 analysis).
+	MatureShare float64
+	// MaxGPUs caps the user's job sizes (1 for never-multi users).
+	MaxGPUs int
+	// MultiProb is the per-job probability of requesting >1 GPU.
+	MultiProb float64
+	// JitterSigma is the user's job-to-job utilization log-spread. It is
+	// deliberately independent of activity rank: the paper's Fig. 12 finds
+	// that expert users are NOT more predictable, so consistency must not
+	// track job count.
+	JitterSigma float64
+	// GPUFrac is the user's share of jobs that request GPUs at all.
+	GPUFrac float64
+}
+
+// BuildUsers synthesizes the user population: Pareto-weighted job counts
+// normalized to totalJobs, then rank-correlated behavioral parameters.
+// The returned slice is indexed by user and sums to ~totalJobs submissions.
+func BuildUsers(c Calibration, numUsers, totalJobs int, rng *dist.RNG) []User {
+	if numUsers < 1 {
+		return nil
+	}
+	casual := dist.Uniform{Low: c.CasualJobsLow, High: c.CasualJobsHigh}
+	regular := dist.Lognormal{Mu: math.Log(c.RegularMedianJobs), Sigma: c.RegularLogSigma}
+	weights := make([]float64, numUsers)
+	var wsum float64
+	for i := range weights {
+		if rng.Bool(c.CasualUserFrac) {
+			weights[i] = casual.Sample(rng)
+		} else {
+			weights[i] = regular.Sample(rng)
+		}
+		wsum += weights[i]
+	}
+	users := make([]User, numUsers)
+	assigned := 0
+	for i := range users {
+		n := int(weights[i] / wsum * float64(totalJobs))
+		if n < 1 {
+			n = 1
+		}
+		users[i] = User{Index: i, JobCount: n}
+		assigned += n
+	}
+	// Put the rounding remainder on the heaviest user to preserve the total.
+	if assigned < totalJobs {
+		heaviest := 0
+		for i := range users {
+			if users[i].JobCount > users[heaviest].JobCount {
+				heaviest = i
+			}
+		}
+		users[heaviest].JobCount += totalJobs - assigned
+	}
+
+	// Activity ranks: RankFrac 1 = most jobs.
+	order := make([]int, numUsers)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return users[order[a]].JobCount < users[order[b]].JobCount })
+	for rank, idx := range order {
+		if numUsers == 1 {
+			users[idx].RankFrac = 1
+		} else {
+			users[idx].RankFrac = float64(rank) / float64(numUsers-1)
+		}
+	}
+
+	// Multi-GPU capability classes. Assign the large-job classes
+	// preferentially to active users — scaling to many GPUs takes the
+	// training the paper describes — but keep some spread via shuffled
+	// assignment within the top half.
+	classOf := assignMultiClasses(c, users, rng)
+
+	for i := range users {
+		u := &users[i]
+		r := u.RankFrac
+
+		// Run-time scale: user medians cluster near the 30-minute job
+		// median with mild activity dependence and lognormal spread.
+		med := c.UserRuntimeC * math.Pow(float64(u.JobCount), -c.UserRuntimeBeta)
+		med *= math.Exp(c.UserRuntimeLogSigma * rng.NormFloat64())
+		u.RuntimeMedianMin = clampF(med, 0.8, c.MaxRunMinutes/4)
+		// Within-user spread is heavy for everyone — quick probes next to
+		// day-long trainings — and deliberately rank-independent: Fig. 12
+		// finds no activity→predictability relationship.
+		u.RuntimeLogSigma = clampF(c.UserSigmaMean+c.UserSigmaSD*rng.NormFloat64(), 1.6, 3.2)
+
+		// Utilization bias rises superlinearly with activity rank (Fig. 12;
+		// the convexity keeps the median user's average utilization low, as
+		// in Fig. 10, while experts run hot).
+		u.UtilBias = clampF(c.UtilBiasBase+c.UtilBiasSlope*r*r+c.UtilBiasNoise*rng.NormFloat64(), 0.3, 1.8)
+
+		// Life-cycle mix: mature share grows with rank (Figs. 15, 17).
+		mature := c.MatureShareBase + c.MatureShareSlope*math.Pow(r, c.MatureShareExp) +
+			c.MatureShareNoise*rng.NormFloat64()
+		mature = clampF(mature, 0.02, 0.95)
+		u.MatureShare = mature
+		rest := 1 - mature
+		nw := c.NonMatureWeights
+		nwSum := nw[0] + nw[1] + nw[2]
+		// Jitter the split so users differ in how they spend non-mature time.
+		e := nw[0] / nwSum * rest * math.Exp(0.3*rng.NormFloat64())
+		dv := nw[1] / nwSum * rest * math.Exp(0.3*rng.NormFloat64())
+		id := nw[2] / nwSum * rest * math.Exp(0.3*rng.NormFloat64())
+		u.CategoryMix = dist.NewCategorical(mature, e, dv, id)
+
+		// Multi-GPU propensity by class.
+		switch classOf[i] {
+		case 0:
+			u.MaxGPUs, u.MultiProb = 1, 0
+		case 1:
+			u.MaxGPUs, u.MultiProb = 2, c.MultiProbMax2
+		case 2:
+			u.MaxGPUs, u.MultiProb = 8, c.MultiProbMax8
+		default:
+			u.MaxGPUs, u.MultiProb = 32, c.MultiProbMax32
+		}
+
+		// Job-to-job consistency: a mild rank term (heavy users juggle more
+		// distinct projects) balances the category-mix entropy that would
+		// otherwise make experts look predictable — the paper's Fig. 12
+		// finds the jobs↔CoV correlation weak.
+		u.JitterSigma = 0.05 + 0.68*r + 0.25*rng.Float64()
+
+		// GPU share of the user's jobs, jittered around the global fraction.
+		u.GPUFrac = clampF(c.GPUJobFraction+0.18*rng.NormFloat64(), 0.1, 1)
+	}
+	return users
+}
+
+// assignMultiClasses returns a class per user: 0 never-multi, 1 max-2,
+// 2 max-8, 3 max-32. Large-job classes skew toward active users.
+func assignMultiClasses(c Calibration, users []User, rng *dist.RNG) []int {
+	n := len(users)
+	classes := make([]int, n)
+	n32 := int(math.Round(c.UserMax32Frac * float64(n)))
+	n8 := int(math.Round(c.UserMax8Frac * float64(n)))
+	nNever := int(math.Round(c.UserNeverMultiFrac * float64(n)))
+
+	// Order users by a noisy activity score so class boundaries are soft.
+	type scored struct {
+		idx   int
+		score float64
+	}
+	sc := make([]scored, n)
+	for i := range users {
+		sc[i] = scored{idx: i, score: users[i].RankFrac + 0.35*rng.NormFloat64()}
+	}
+	sort.Slice(sc, func(a, b int) bool { return sc[a].score > sc[b].score })
+	for pos, s := range sc {
+		switch {
+		case pos < n32:
+			classes[s.idx] = 3
+		case pos < n32+n8:
+			classes[s.idx] = 2
+		case pos >= n-nNever:
+			classes[s.idx] = 0
+		default:
+			classes[s.idx] = 1
+		}
+	}
+	return classes
+}
+
+// CategoryFromDraw converts a CategoryMix draw index into a trace.Category.
+func CategoryFromDraw(i int) trace.Category {
+	switch i {
+	case 0:
+		return trace.Mature
+	case 1:
+		return trace.Exploratory
+	case 2:
+		return trace.Development
+	default:
+		return trace.IDE
+	}
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
