@@ -1,0 +1,41 @@
+# Build and verification entry points. `make check` is the tier-1 gate
+# (ROADMAP.md): vet, build, and the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: check build vet test short race fuzz bench golden clean
+
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Quick loop: skips the slow full-pipeline and replication tests.
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz session over every trace codec target.
+fuzz:
+	$(GO) test ./internal/trace -fuzz FuzzReadCSV -fuzztime 30s
+	$(GO) test ./internal/trace -fuzz FuzzReadJSON -fuzztime 30s
+	$(GO) test ./internal/trace -fuzz FuzzDatasetRoundTrip -fuzztime 30s
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+# Regenerate the pinned characterization figures after an intended change;
+# review the golden diff like any other code change.
+golden:
+	$(GO) test ./internal/report -run Golden -update
+
+clean:
+	$(GO) clean ./...

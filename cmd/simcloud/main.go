@@ -10,17 +10,27 @@
 //	simcloud -scale 0.05
 //	simcloud -scale 0.05 -nodes 40 -colocate=false
 //	simcloud -in trace.csv                     # replay a recorded trace
+//	simcloud -scale 0.05 -reps 16 -workers 8   # replicated run with CIs
+//
+// With -reps N > 1 the run is replicated N times with independently-seeded
+// populations (streams split from -seed) across -workers goroutines, and the
+// report becomes across-replication statistics: mean, standard error and a
+// bootstrap confidence interval per metric. Ctrl-C returns the partial
+// batch. The merged output is bit-identical for any -workers value.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/monitor"
 	"repro/internal/report"
 	"repro/internal/slurm"
@@ -41,11 +51,22 @@ func main() {
 		colocate    = flag.Bool("colocate", true, "share node CPUs between GPU jobs and CPU slices (production policy)")
 		monInterval = flag.Float64("monitor-interval", 30, "GPU sampling cadence in simulated seconds (0 = disable monitoring)")
 		out         = flag.String("out", "", "optional path to write the resulting dataset (JSON)")
+		reps        = flag.Int("reps", 1, "independently-seeded replications (>1 switches to the replicated report)")
+		workers     = flag.Int("workers", 0, "worker goroutines for replicated runs (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	gcfg := workload.ScaledConfig(*scale)
 	gcfg.Seed = *seed
+
+	if *reps > 1 {
+		if *in != "" {
+			log.Fatal("replicated runs (-reps > 1) regenerate the population per replication; -in is not supported")
+		}
+		runReplicated(gcfg, simConfig(*nodes, *scale, *colocate, *monInterval, *seed), *reps, *workers, *seed)
+		return
+	}
+
 	var specs []workload.JobSpec
 	if *in != "" {
 		ds, err := loadDataset(*in, *days)
@@ -62,22 +83,13 @@ func main() {
 		specs = gen.GenerateSpecs()
 	}
 
-	scfg := slurm.DefaultConfig()
-	if *nodes > 0 {
-		scfg.Cluster.Nodes = *nodes
-	} else {
-		n := int(float64(scfg.Cluster.Nodes) * *scale)
-		if n < 4 {
-			n = 4
-		}
-		scfg.Cluster.Nodes = n
+	scfg := simConfig(*nodes, *scale, *colocate, *monInterval, *seed)
+	var rejected []workload.JobSpec
+	specs, rejected = slurm.Feasible(scfg, specs)
+	if len(rejected) > 0 {
+		log.Printf("rejected %d jobs exceeding cluster capacity (Slurm partition limits)", len(rejected))
 	}
-	scfg.Policy.Colocate = *colocate
-	if *monInterval > 0 {
-		mc := monitor.DefaultConfig()
-		mc.GPUIntervalSec = *monInterval
-		scfg.Monitor = &mc
-		scfg.MonitorSeed = *seed
+	if scfg.Monitor != nil {
 		// Detailed series for the scaled subset, chosen by stride.
 		detailed := map[int64]bool{}
 		stride := len(specs) / max(1, gcfg.TimeSeriesJobs)
@@ -171,6 +183,48 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// simConfig builds the scheduler configuration shared by the single-run and
+// replicated paths (replications skip the detailed-series subset, which is a
+// per-population choice).
+func simConfig(nodes int, scale float64, colocate bool, monInterval float64, seed uint64) slurm.Config {
+	scfg := slurm.DefaultConfig()
+	if nodes > 0 {
+		scfg.Cluster.Nodes = nodes
+	} else {
+		n := int(float64(scfg.Cluster.Nodes) * scale)
+		if n < 4 {
+			n = 4
+		}
+		scfg.Cluster.Nodes = n
+	}
+	scfg.Policy.Colocate = colocate
+	if monInterval > 0 {
+		mc := monitor.DefaultConfig()
+		mc.GPUIntervalSec = monInterval
+		scfg.Monitor = &mc
+		scfg.MonitorSeed = seed
+	}
+	return scfg
+}
+
+// runReplicated fans the generator→scheduler→characterization pipeline
+// across the worker pool and prints across-replication statistics. Ctrl-C
+// cancels the batch and reports whatever completed.
+func runReplicated(gcfg workload.Config, scfg slurm.Config, reps, workers int, seed uint64) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	exp := engine.Experiment{Gen: gcfg, Sim: scfg}
+	batch, err := engine.Run(ctx, engine.Config{RootSeed: seed, Reps: reps, Workers: workers}, exp.Replicator())
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if err := report.ReplicationSummary(w, "replicated DES run", batch); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // loadDataset reads a tracegen output file.

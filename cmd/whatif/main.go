@@ -11,16 +11,26 @@
 //	whatif -study checkpoint
 //	whatif -study mig
 //	whatif -study all
+//	whatif -study powercap -reps 16 -workers 8   # replicated with CIs
+//
+// With -reps N > 1 each study's headline numbers are recomputed over N
+// independently-seeded populations (streams split from -seed) across
+// -workers goroutines, and the output becomes across-replication statistics
+// with bootstrap confidence intervals. The deterministic MIG packing study
+// is excluded — replication cannot add information to it.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 
+	"repro/internal/engine"
 	"repro/internal/gpu"
 	"repro/internal/predict"
 	"repro/internal/report"
@@ -33,14 +43,23 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("whatif: ")
 	var (
-		study = flag.String("study", "all", "powercap | capping | twotier | reliability | colocate | incentive | checkpoint | mig | predict | all")
-		scale = flag.Float64("scale", 0.05, "population scale relative to the paper")
-		seed  = flag.Uint64("seed", 1, "generator seed")
+		study   = flag.String("study", "all", "powercap | capping | twotier | reliability | colocate | incentive | checkpoint | mig | predict | all")
+		scale   = flag.Float64("scale", 0.05, "population scale relative to the paper")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		reps    = flag.Int("reps", 1, "independently-seeded replications (>1 switches to the replicated report)")
+		workers = flag.Int("workers", 0, "worker goroutines for replicated runs (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	cfg := workload.ScaledConfig(*scale)
 	cfg.Seed = *seed
+
+	if *reps > 1 {
+		if err := runReplicated(*study, cfg, *reps, *workers, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	gen, err := workload.NewGenerator(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -244,4 +263,165 @@ func runMIG(w io.Writer, _ []workload.JobSpec, _ *trace.Dataset) error {
 	_, err = fmt.Fprintf(w, "repartition cost: %.0fs (device must be idle; %d resets so far)\n",
 		cost, part.Resets())
 	return err
+}
+
+// extractor pulls one study's headline scalar metrics from a replication's
+// population, prefixing each metric with the study name so -study all can
+// merge every extractor into one sample.
+type extractor func(specs []workload.JobSpec, ds *trace.Dataset, sample engine.Sample) error
+
+// replicatedStudies maps study names onto metric extractors. The MIG study
+// is absent on purpose: its packing exercise is deterministic, so
+// replication cannot add information to it.
+var replicatedStudies = map[string]extractor{
+	"powercap": func(_ []workload.JobSpec, ds *trace.Dataset, sm engine.Sample) error {
+		res, err := sharing.PowerCapStudy(ds, gpu.V100(), 448, []float64{150, 200, 250})
+		if err != nil {
+			return err
+		}
+		for _, l := range res.Levels {
+			p := fmt.Sprintf("powercap_%.0fw_", l.CapWatts)
+			sm[p+"unimpacted_frac"] = l.UnimpactedFrac
+			sm[p+"avg_impacted_frac"] = l.AvgImpactedFrac
+			sm[p+"mean_slowdown"] = l.MeanSlowdown
+			sm[p+"extra_gpus"] = float64(l.ExtraGPUsSupportable)
+		}
+		return nil
+	},
+	"capping": func(_ []workload.JobSpec, ds *trace.Dataset, sm engine.Sample) error {
+		rows, err := sharing.CompareCapping(ds, gpu.V100(), []float64{150})
+		if err != nil {
+			return err
+		}
+		sm["capping_150w_power_slowdown"] = rows[0].PowerCapMeanSlowdown
+		sm["capping_150w_freq_slowdown"] = rows[0].FreqCapMeanSlowdown
+		sm["capping_150w_power_hit_frac"] = rows[0].PowerCapImpactedFrac
+		sm["capping_150w_freq_hit_frac"] = rows[0].FreqCapImpactedFrac
+		return nil
+	},
+	"twotier": func(_ []workload.JobSpec, ds *trace.Dataset, sm engine.Sample) error {
+		res, err := sharing.TwoTierStudy(ds, sharing.DefaultTierPlan())
+		if err != nil {
+			return err
+		}
+		sm["twotier_capex_savings_frac"] = res.CapexSavingsFrac
+		sm["twotier_slow_job_frac"] = res.TwoTier.SlowTierJobFrac
+		sm["twotier_slow_slowdown"] = res.TwoTier.MeanSlowdown
+		return nil
+	},
+	"reliability": func(_ []workload.JobSpec, ds *trace.Dataset, sm engine.Sample) error {
+		res, err := sharing.ReliabilityStudy(ds, sharing.DefaultReliabilityPlan())
+		if err != nil {
+			return err
+		}
+		sm["reliability_net_savings_usd"] = res.NetSavingsUSD
+		sm["reliability_lost_gpu_hours"] = res.LostGPUHours
+		sm["reliability_worthwhile"] = boolMetric(res.Worthwhile)
+		return nil
+	},
+	"colocate": func(specs []workload.JobSpec, _ *trace.Dataset, sm engine.Sample) error {
+		cfg := sharing.DefaultColocationConfig()
+		for _, pol := range []sharing.ColocationPolicy{sharing.StaticPairing, sharing.PhaseAware} {
+			rep := sharing.Colocate(specs, pol, cfg)
+			p := "colocate_" + pol.String() + "_"
+			sm[p+"saved_frac"] = rep.SavedFrac
+			sm[p+"mean_slowdown"] = rep.MeanSlowdown
+			sm[p+"pairs"] = float64(rep.PairsFormed)
+		}
+		ts, err := sharing.TimeSlice(specs, sharing.DefaultTimeSliceConfig())
+		if err != nil {
+			return err
+		}
+		sm["colocate_timeslice_saved_frac"] = ts.SavedFrac
+		sm["colocate_timeslice_mean_stretch"] = ts.MeanStretch
+		return nil
+	},
+	"incentive": func(specs []workload.JobSpec, _ *trace.Dataset, sm engine.Sample) error {
+		res, err := sharing.IncentiveStudy(specs, sharing.DefaultIncentiveConfig())
+		if err != nil {
+			return err
+		}
+		sm["incentive_participants"] = float64(res.Participants)
+		sm["incentive_saved_gpu_hours"] = res.SavedGPUHours
+		sm["incentive_solvent"] = boolMetric(res.Solvent)
+		return nil
+	},
+	"checkpoint": func(_ []workload.JobSpec, ds *trace.Dataset, sm engine.Sample) error {
+		rep, err := sharing.CheckpointStudy(ds, sharing.DefaultCheckpointConfig())
+		if err != nil {
+			return err
+		}
+		sm["checkpoint_jobs_covered"] = float64(rep.JobsCovered)
+		sm["checkpoint_interval_s"] = rep.IntervalSec
+		sm["checkpoint_saved_gpu_hours"] = rep.SavedGPUHours
+		return nil
+	},
+	"predict": func(_ []workload.JobSpec, ds *trace.Dataset, sm engine.Sample) error {
+		scores, err := predict.Evaluate(ds, predict.TargetRunMinutes, predict.StandardPredictors())
+		if err != nil {
+			return err
+		}
+		for _, s := range scores {
+			switch s.Predictor {
+			case "global-median":
+				sm["predict_runtime_global_medape"] = s.MedAPE
+			case "per-user-median(8)":
+				sm["predict_runtime_peruser_medape"] = s.MedAPE
+			}
+		}
+		return nil
+	},
+}
+
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// runReplicated recomputes the selected studies' headline metrics over
+// independently-seeded populations and prints across-replication statistics.
+func runReplicated(study string, cfg workload.Config, reps, workers int, seed uint64) error {
+	var names []string
+	if study == "all" {
+		names = []string{"powercap", "capping", "twotier", "reliability", "colocate", "incentive", "checkpoint", "predict"}
+	} else if _, ok := replicatedStudies[study]; ok {
+		names = []string{study}
+	} else if study == "mig" {
+		return fmt.Errorf("the MIG study is deterministic; replication adds nothing (drop -reps)")
+	} else {
+		return fmt.Errorf("unknown or non-replicable study %q", study)
+	}
+
+	fn := func(ctx context.Context, rep int, repSeed uint64) (engine.Sample, error) {
+		gcfg := cfg
+		gcfg.Seed = repSeed
+		gen, err := workload.NewGenerator(gcfg)
+		if err != nil {
+			return nil, err
+		}
+		specs := gen.GenerateSpecs()
+		ds := gen.BuildDataset(specs)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sm := engine.Sample{}
+		for _, name := range names {
+			if err := replicatedStudies[name](specs, ds, sm); err != nil {
+				return nil, fmt.Errorf("study %s: %w", name, err)
+			}
+		}
+		return sm, nil
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	batch, err := engine.Run(ctx, engine.Config{RootSeed: seed, Reps: reps, Workers: workers}, fn)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	return report.ReplicationSummary(w, fmt.Sprintf("replicated studies: %s", study), batch)
 }

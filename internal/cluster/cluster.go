@@ -153,7 +153,9 @@ type Request struct {
 	Cores int
 	MemGB float64
 	// Exclusive requests whole nodes (typical of the paper's CPU jobs, which
-	// "usually request all cores and full memory of the nodes").
+	// "usually request all cores and full memory of the nodes"). Combined
+	// with GPUs > 0 it reserves ceil(GPUs/GPUsPerNode) idle nodes outright —
+	// the non-colocated ablation.
 	Exclusive bool
 }
 
@@ -208,7 +210,9 @@ func (c *Cluster) TryAllocate(req Request) (*Allocation, error) {
 	}
 	var alloc *Allocation
 	var err error
-	if req.GPUs > 0 {
+	if req.GPUs > 0 && req.Exclusive {
+		alloc, err = c.allocateExclusiveGPUJob(req)
+	} else if req.GPUs > 0 {
 		alloc, err = c.allocateGPUJob(req)
 	} else if req.Exclusive {
 		alloc, err = c.allocateExclusiveCPUJob(req)
@@ -342,15 +346,7 @@ func (c *Cluster) allocateExclusiveCPUJob(req Request) (*Allocation, error) {
 	if nodesNeeded < 1 {
 		nodesNeeded = 1
 	}
-	var free []*Node
-	for _, n := range c.nodes {
-		if !n.Exclusive() && n.freeCores == c.cfg.CoresPerNode && n.FreeGPUs() == len(n.devices) {
-			free = append(free, n)
-			if len(free) == nodesNeeded {
-				break
-			}
-		}
-	}
+	free := c.idleNodes(nodesNeeded)
 	if len(free) < nodesNeeded {
 		return nil, ErrInsufficient{Req: req}
 	}
@@ -360,6 +356,63 @@ func (c *Cluster) allocateExclusiveCPUJob(req Request) (*Allocation, error) {
 		n.freeCores = 0
 		n.freeMemGB = 0
 		alloc.Shares = append(alloc.Shares, NodeShare{Node: n.Index, Cores: c.cfg.CoresPerNode, MemGB: c.cfg.MemGBPerNode})
+	}
+	return alloc, nil
+}
+
+// idleNodes returns up to want fully idle nodes: no exclusive owner, every
+// core, every byte of memory and every device free. Exclusive grants book the
+// whole node, so a node that has leased even a memory-only slice to a shared
+// job must not qualify — treating it as idle double-books the leased memory.
+// Memory is compared with a tolerance because release restores it by
+// floating-point addition.
+func (c *Cluster) idleNodes(want int) []*Node {
+	var free []*Node
+	for _, n := range c.nodes {
+		if n.Exclusive() || n.freeCores != c.cfg.CoresPerNode ||
+			n.freeMemGB < c.cfg.MemGBPerNode-1e-9 || n.FreeGPUs() != len(n.devices) {
+			continue
+		}
+		free = append(free, n)
+		if len(free) == want {
+			break
+		}
+	}
+	return free
+}
+
+// allocateExclusiveGPUJob grants whole idle nodes for a GPU job — the
+// -colocate=false ablation, where GPU jobs reserve nodes outright like a
+// traditional HPC scheduler. The job is handed exactly req.GPUs devices; any
+// further devices on its nodes are reserved but idle.
+func (c *Cluster) allocateExclusiveGPUJob(req Request) (*Allocation, error) {
+	perNode := c.cfg.GPUsPerNode
+	if perNode < 1 {
+		return nil, ErrInsufficient{Req: req}
+	}
+	nodesNeeded := (req.GPUs + perNode - 1) / perNode
+	free := c.idleNodes(nodesNeeded)
+	if len(free) < nodesNeeded {
+		return nil, ErrInsufficient{Req: req}
+	}
+	alloc := &Allocation{JobID: req.JobID}
+	remaining := req.GPUs
+	for _, n := range free {
+		n.exclusive = req.JobID
+		n.freeCores = 0
+		n.freeMemGB = 0
+		share := NodeShare{Node: n.Index, Cores: c.cfg.CoresPerNode, MemGB: c.cfg.MemGBPerNode}
+		for _, d := range n.devices {
+			if remaining == 0 {
+				break
+			}
+			if err := d.Allocate(req.JobID); err != nil {
+				return nil, err
+			}
+			share.GPUIDs = append(share.GPUIDs, d.ID)
+			remaining--
+		}
+		alloc.Shares = append(alloc.Shares, share)
 	}
 	return alloc, nil
 }
@@ -432,6 +485,11 @@ func (c *Cluster) Release(jobID int64) error {
 			n.exclusive = noExclusive
 			n.freeCores = c.cfg.CoresPerNode
 			n.freeMemGB = c.cfg.MemGBPerNode
+			for _, id := range s.GPUIDs {
+				if err := n.devices[id.Index].Release(); err != nil {
+					return err
+				}
+			}
 			continue
 		}
 		n.freeCores += s.Cores

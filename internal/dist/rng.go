@@ -55,6 +55,34 @@ func (r *RNG) Split() *RNG {
 	return &RNG{state: s}
 }
 
+// StreamSeed derives the seed of the index-th independent substream of a
+// root seed without consuming any generator state. Unlike Split, which
+// advances the parent and therefore depends on call order, StreamSeed is a
+// pure function of (root, index): stream i is the same no matter how many
+// other streams were derived before it or on which goroutine. The parallel
+// replication engine leans on this to make results bit-identical regardless
+// of worker count — replication i always draws from Stream(root, i).
+//
+// The derivation runs the SplitMix64 finalizer twice over root offset by
+// (index+1) gammas, the same double-mix construction Split uses, so sibling
+// streams are statistically independent of each other and of a generator
+// seeded directly with root.
+func StreamSeed(root, index uint64) uint64 {
+	s := root + (index+1)*splitMixGamma
+	s = (s ^ (s >> 30)) * 0xBF58476D1CE4E5B9
+	s = (s ^ (s >> 27)) * 0x94D049BB133111EB
+	s ^= s >> 31
+	s = (s ^ (s >> 33)) * 0xFF51AFD7ED558CCD
+	s ^= s >> 33
+	return s
+}
+
+// Stream returns a generator over the index-th independent substream of
+// root; see StreamSeed for the determinism contract.
+func Stream(root, index uint64) *RNG {
+	return New(StreamSeed(root, index))
+}
+
 // SplitN derives n independent child generators.
 func (r *RNG) SplitN(n int) []*RNG {
 	out := make([]*RNG, n)

@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/slurm"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Experiment is the standard replicated pipeline: synthesize a population,
+// schedule it on the simulated cluster, characterize the resulting dataset.
+// The Seed fields of both configs are overridden per replication with the
+// replication's private stream seed.
+type Experiment struct {
+	Gen workload.Config
+	Sim slurm.Config
+}
+
+// Replicator returns the engine-compatible closure for the experiment. Each
+// call builds its own generator and simulator, so replications share no
+// mutable state.
+func (e Experiment) Replicator() Replicator {
+	return func(ctx context.Context, rep int, seed uint64) (Sample, error) {
+		gcfg := e.Gen
+		gcfg.Seed = seed
+		gen, err := workload.NewGenerator(gcfg)
+		if err != nil {
+			return nil, fmt.Errorf("replication %d: %w", rep, err)
+		}
+		specs := gen.GenerateSpecs()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		scfg := e.Sim
+		if scfg.Monitor != nil {
+			scfg.MonitorSeed = seed
+		}
+		// Submit-time feasibility gate: jobs exceeding the (possibly down-
+		// scaled) cluster's capacity are rejected as Slurm would, not left
+		// to deadlock the drain.
+		specs, rejected := slurm.Feasible(scfg, specs)
+		sim, err := slurm.NewSimulator(scfg)
+		if err != nil {
+			return nil, fmt.Errorf("replication %d: %w", rep, err)
+		}
+		results, st, err := sim.Run(specs)
+		if err != nil {
+			return nil, fmt.Errorf("replication %d: %w", rep, err)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ds := sim.BuildDataset(specs, results, gcfg.DurationDays)
+		sm := Characterize(ds, st)
+		sm["jobs_rejected"] = float64(len(rejected))
+		return sm, nil
+	}
+}
+
+// Characterize extracts the standard metric sample from one replication's
+// dataset and scheduler stats: the Fig. 3b queue-wait statistics, §V's
+// wait-by-size medians, the Fig. 4a utilization medians, the §VI lifecycle
+// mix, and the scheduler aggregates.
+func Characterize(ds *trace.Dataset, st slurm.Stats) Sample {
+	w := core.Waits(ds)
+	u := core.Utilization(ds)
+	lc := core.Lifecycle(ds)
+
+	sm := Sample{
+		"jobs_completed":           float64(st.Completed),
+		"max_queue_len":            float64(st.MaxQueueLen),
+		"mean_gpu_occupancy":       st.MeanGPUOccupancy(),
+		"gpu_wait_under_1min_frac": w.GPUWaitUnder1MinFrac,
+		"gpu_wait_pct_under_2frac": w.GPUWaitPctUnder2Frac,
+		"sm_util_median_pct":       u.SM.P50,
+		"mem_util_median_pct":      u.Mem.P50,
+		"memsize_median_pct":       u.MemSize.P50,
+	}
+
+	var gpuWaits, cpuWaits []float64
+	for _, j := range ds.GPUJobs() {
+		gpuWaits = append(gpuWaits, j.WaitSec)
+	}
+	for _, j := range ds.CPUJobs() {
+		cpuWaits = append(cpuWaits, j.WaitSec)
+	}
+	sm["gpu_wait_median_s"] = stats.Median(gpuWaits)
+	sm["gpu_wait_p90_s"] = stats.Quantile(gpuWaits, 0.9)
+	sm["cpu_wait_median_s"] = stats.Median(cpuWaits)
+	sm["cpu_wait_p90_s"] = stats.Quantile(cpuWaits, 0.9)
+	sm["wait_median_gap_s"] = sm["cpu_wait_median_s"] - sm["gpu_wait_median_s"]
+
+	for c := 0; c < 4; c++ {
+		label := strings.NewReplacer(" ", "", "-", "_", ">", "over").Replace(core.SizeClassLabel(c))
+		sm["wait_median_"+strings.ToLower(label)+"_s"] = w.MedianWaitBySize[c]
+	}
+	for c := trace.Category(0); c < trace.NumCategories; c++ {
+		sm["lifecycle_"+c.String()+"_job_frac"] = lc.JobShare[c]
+		sm["lifecycle_"+c.String()+"_hour_frac"] = lc.HourShare[c]
+	}
+	return sm
+}

@@ -1,0 +1,207 @@
+package report_test
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/monitor"
+	"repro/internal/slurm"
+	"repro/internal/workload"
+)
+
+// The golden tests pin the characterization figures produced by a fixed-seed
+// run of the full generator→scheduler→characterization pipeline. The numbers
+// live in testdata/ so an unintended change to any layer — distributions,
+// placement, monitoring, metric extraction — shows up as a diff. After an
+// INTENDED change, regenerate with:
+//
+//	go test ./internal/report -run Golden -update
+//
+// and review the golden diff like any other code change.
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+const goldenSeed = 7
+
+// goldenSample runs the pinned experiment once: 1% of the paper's population
+// compressed into a 25-day window on a 4-node slice of the machine, with
+// monitoring attached. The compressed window keeps the nodes contended
+// enough that CPU jobs queue while most GPU jobs still start at once — the
+// moderate-load regime in which Fig. 3b's ordering is visible.
+func goldenSample(t *testing.T) engine.Sample {
+	t.Helper()
+	gcfg := workload.ScaledConfig(0.01)
+	gcfg.DurationDays = 25
+	scfg := slurm.DefaultConfig()
+	scfg.Cluster.Nodes = 4
+	mc := monitor.DefaultConfig()
+	mc.GPUIntervalSec = 60
+	scfg.Monitor = &mc
+	exp := engine.Experiment{Gen: gcfg, Sim: scfg}
+	sm, err := exp.Replicator()(context.Background(), 0, goldenSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sm
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", name+".golden")
+}
+
+// writeGolden serializes the sample as sorted key=value lines with full
+// round-trip float precision.
+func writeGolden(t *testing.T, path string, sm engine.Sample) {
+	t.Helper()
+	keys := make([]string, 0, len(sm))
+	for k := range sm {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "# golden characterization sample, seed=%d; regenerate with -update\n", goldenSeed)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%s\n", k, strconv.FormatFloat(sm[k], 'g', -1, 64))
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readGolden parses a golden file back into a sample.
+func readGolden(t *testing.T, path string) engine.Sample {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	defer f.Close()
+	sm := engine.Sample{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		k, vs, ok := strings.Cut(line, "=")
+		if !ok {
+			t.Fatalf("%s: malformed line %q", path, line)
+		}
+		v, err := strconv.ParseFloat(vs, 64)
+		if err != nil {
+			t.Fatalf("%s: bad value in %q: %v", path, line, err)
+		}
+		sm[k] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return sm
+}
+
+// close compares with a relative tolerance so a legitimate last-bit change in
+// floating-point evaluation order does not fail the pin, while any real drift
+// does. NaN matches NaN (an undefined metric staying undefined is a match).
+func close(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	const tol = 1e-9
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestGoldenCharacterization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	got := goldenSample(t)
+	path := goldenPath("characterize_seed7")
+	if *update {
+		writeGolden(t, path, got)
+	}
+	want := readGolden(t, path)
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok {
+			t.Errorf("metric %s in golden file but not produced (run -update after intended changes)", k)
+			continue
+		}
+		if !close(g, w) {
+			t.Errorf("metric %s = %v, golden %v", k, g, w)
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("new metric %s not in golden file (run -update after intended changes)", k)
+		}
+	}
+}
+
+// TestGoldenFig3b pins the paper's headline scheduling result: GPU jobs wait
+// less than CPU jobs (Fig. 3b), with most GPU waits under a minute.
+func TestGoldenFig3b(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	sm := goldenSample(t)
+	if gpu, cpu := sm["gpu_wait_median_s"], sm["cpu_wait_median_s"]; !(gpu < cpu) {
+		t.Errorf("Fig 3b ordering violated: GPU median wait %v >= CPU median wait %v", gpu, cpu)
+	}
+	if f := sm["gpu_wait_under_1min_frac"]; !(f > 0.5) {
+		t.Errorf("GPU waits under 1 min = %v, want majority", f)
+	}
+}
+
+// TestGoldenLifecycleMix pins the four-way lifecycle decomposition (§VI):
+// the job and GPU-hour shares each form a distribution over the categories.
+func TestGoldenLifecycleMix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	sm := goldenSample(t)
+	for _, suffix := range []string{"job_frac", "hour_frac"} {
+		sum := 0.0
+		for k, v := range sm {
+			if strings.HasPrefix(k, "lifecycle_") && strings.HasSuffix(k, suffix) {
+				if v < 0 || v > 1 {
+					t.Errorf("%s = %v outside [0,1]", k, v)
+				}
+				sum += v
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("lifecycle %s shares sum to %v, want 1", suffix, sum)
+		}
+	}
+}
+
+// TestGoldenUtilizationQuantiles sanity-bounds the Fig. 4 utilization
+// medians: percentages in range and the low-utilization finding (median SM
+// utilization well below saturation) present.
+func TestGoldenUtilizationQuantiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	sm := goldenSample(t)
+	for _, k := range []string{"sm_util_median_pct", "mem_util_median_pct", "memsize_median_pct"} {
+		if v := sm[k]; math.IsNaN(v) || v < 0 || v > 100 {
+			t.Errorf("%s = %v outside [0,100]", k, v)
+		}
+	}
+	if v := sm["sm_util_median_pct"]; !(v < 80) {
+		t.Errorf("median SM utilization %v%%; the paper's low-utilization finding should hold", v)
+	}
+}

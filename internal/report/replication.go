@@ -1,0 +1,42 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/engine"
+)
+
+// ciResamples and ciLevel parameterize the across-replication bootstrap.
+const (
+	ciResamples = 2000
+	ciLevel     = 0.95
+)
+
+// ReplicationSummary renders a replication batch: one row per metric with
+// the across-replication mean, its standard error and bootstrap CI, and the
+// replication-distribution extremes. Failed replications are listed after
+// the table so a bad seed is visible without killing the report.
+func ReplicationSummary(w io.Writer, title string, b *engine.Batch) error {
+	t := NewTable(fmt.Sprintf("%s (%d replications, root seed %d)", title, b.Merged.N(), b.RootSeed),
+		"metric", "mean", "stderr", "95% CI", "min", "median", "max")
+	for _, r := range b.Merged.Rows(ciResamples, ciLevel, b.RootSeed) {
+		t.AddRowF(r.Metric, r.Mean, r.StdErr,
+			fmt.Sprintf("[%.4g, %.4g]", r.CI.Lo, r.CI.Hi), r.Min, r.Median, r.Max)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	if b.Canceled {
+		if _, err := fmt.Fprintf(w, "batch canceled: %d of %d replications completed\n",
+			b.Completed(), len(b.Results)); err != nil {
+			return err
+		}
+	}
+	for _, f := range b.Failed() {
+		if _, err := fmt.Fprintf(w, "replication %d (seed %#x) failed: %v\n", f.Rep, f.Seed, f.Err); err != nil {
+			return err
+		}
+	}
+	return nil
+}

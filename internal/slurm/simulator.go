@@ -78,6 +78,10 @@ type Result struct {
 	WaitSec  float64
 	NodeSpan int
 	GPUs     []gpu.DeviceID
+	// Shares records the node slices the job held while running, so
+	// post-hoc audits (the scheduler-invariant property tests) can verify
+	// capacity conservation from results alone.
+	Shares []cluster.NodeShare
 }
 
 // Stats aggregates a run.
@@ -215,6 +219,69 @@ func (s *Simulator) Run(specs []workload.JobSpec) (map[int64]*Result, Stats, err
 	return s.results, s.stats, nil
 }
 
+// Feasible partitions specs into jobs the cluster can ever satisfy under
+// cfg's policy and jobs whose requests exceed total capacity — the ones real
+// Slurm rejects at submit with "exceeds partition limits". Without this gate
+// a down-scaled cluster deadlocks the drain: an infeasible job sits at the
+// queue head forever. The replicated experiment engine and cmd/simcloud
+// filter through it and report the rejection count.
+func Feasible(cfg Config, specs []workload.JobSpec) (ok, rejected []workload.JobSpec) {
+	ok = make([]workload.JobSpec, 0, len(specs))
+	for i := range specs {
+		sp := specs[i]
+		if feasible(cfg, &sp) {
+			ok = append(ok, sp)
+		} else {
+			rejected = append(rejected, sp)
+		}
+	}
+	return ok, rejected
+}
+
+// feasible reports whether an idle cluster could grant the spec's effective
+// request (the same transform the scheduler applies).
+func feasible(cfg Config, sp *workload.JobSpec) bool {
+	req := requestFor(cfg, sp)
+	cl := cfg.Cluster
+	if sp.IsGPU() {
+		// Per idle node, the grantable GPU count is bounded by the device
+		// count and by the accompanying CPU/memory slices.
+		g := cl.GPUsPerNode
+		if g < 1 {
+			g = 1
+		}
+		if req.CoresPerGPU > 0 {
+			if byCores := cl.CoresPerNode / req.CoresPerGPU; byCores < g {
+				g = byCores
+			}
+		}
+		if req.MemGBPerGPU > 0 {
+			if byMem := int(cl.MemGBPerNode / req.MemGBPerGPU); byMem < g {
+				g = byMem
+			}
+		}
+		return g >= 1 && req.GPUs <= cl.Nodes*g
+	}
+	if req.Exclusive {
+		nodesNeeded := (req.Cores + cl.CoresPerNode - 1) / cl.CoresPerNode
+		if nodesNeeded < 1 {
+			nodesNeeded = 1
+		}
+		return nodesNeeded <= cl.Nodes
+	}
+	return req.Cores <= cl.TotalCores() && req.MemGB <= float64(cl.Nodes)*cl.MemGBPerNode
+}
+
+// Simulate is the one-shot convenience the replication engine fans out:
+// build a simulator for cfg and run specs to completion.
+func Simulate(cfg Config, specs []workload.JobSpec) (map[int64]*Result, Stats, error) {
+	sim, err := NewSimulator(cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return sim.Run(specs)
+}
+
 // push adds an event with a deterministic sequence number.
 func (s *Simulator) push(e event) {
 	e.seq = s.seq
@@ -234,8 +301,14 @@ func (s *Simulator) advance(t float64) {
 
 // request converts a spec into a cluster request under the active policy.
 func (s *Simulator) request(sp *workload.JobSpec) cluster.Request {
+	return requestFor(s.cfg, sp)
+}
+
+// requestFor is the policy transform shared by the scheduler and the
+// submit-time feasibility gate.
+func requestFor(cfg Config, sp *workload.JobSpec) cluster.Request {
 	if sp.IsGPU() {
-		if s.cfg.Policy.Colocate {
+		if cfg.Policy.Colocate {
 			return cluster.Request{
 				JobID:       sp.ID,
 				GPUs:        sp.NumGPUs,
@@ -243,17 +316,12 @@ func (s *Simulator) request(sp *workload.JobSpec) cluster.Request {
 				MemGBPerGPU: sp.MemGBPerGPU,
 			}
 		}
-		// Ablation: GPU jobs hog entire nodes, like classic HPC exclusive
-		// reservations.
-		perNode := s.cfg.Cluster.GPUsPerNode
-		if perNode < 1 {
-			perNode = 1
-		}
+		// Ablation: GPU jobs reserve whole idle nodes, like classic HPC
+		// exclusive reservations — no other job may share their nodes.
 		return cluster.Request{
-			JobID:       sp.ID,
-			GPUs:        sp.NumGPUs,
-			CoresPerGPU: s.cfg.Cluster.CoresPerNode / perNode,
-			MemGBPerGPU: s.cfg.Cluster.MemGBPerNode / float64(perNode),
+			JobID:     sp.ID,
+			GPUs:      sp.NumGPUs,
+			Exclusive: true,
 		}
 	}
 	return cluster.Request{
@@ -334,6 +402,7 @@ func (s *Simulator) start(idx int, alloc *cluster.Allocation) {
 		WaitSec:  s.now - sp.SubmitSec,
 		NodeSpan: alloc.NodeSpan(),
 		GPUs:     alloc.GPUs(),
+		Shares:   append([]cluster.NodeShare(nil), alloc.Shares...),
 	}
 	s.results[sp.ID] = res
 	s.busyGPUs += len(res.GPUs)

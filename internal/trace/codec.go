@@ -88,6 +88,11 @@ func ReadCSV(r io.Reader, durationDays float64) (*Dataset, error) {
 		}
 		d.Add(j)
 	}
+	// Dataset-level checks (duplicate ids, series linkage) to match ReadJSON;
+	// per-row validation above already covered the records.
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
 	return d, nil
 }
 

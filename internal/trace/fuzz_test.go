@@ -31,6 +31,70 @@ func FuzzReadCSV(f *testing.F) {
 	})
 }
 
+// FuzzDatasetRoundTrip: any dataset the CSV reader accepts must round-trip
+// through both codecs as a fixed point — re-reading a re-encoded dataset
+// yields byte-identical encodings in CSV and in JSON. This pins the decoders
+// and encoders against each other: a field one side writes and the other
+// drops, or a value normalized differently on the two paths, breaks the
+// fixed point.
+func FuzzDatasetRoundTrip(f *testing.F) {
+	d := NewDataset(1)
+	d.Add(gpuJob(1, 0, 600, 2))
+	d.Add(cpuJob(2, 1, 120))
+	d.Add(gpuJob(3, 2, 7200, 8))
+	var seed bytes.Buffer
+	if err := d.WriteCSV(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("job_id,user\n1,2\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, err := ReadCSV(bytes.NewReader(data), 1)
+		if err != nil {
+			return
+		}
+		// CSV leg: read(write(ds)) must re-encode to the same bytes.
+		var csv1 bytes.Buffer
+		if err := ds.WriteCSV(&csv1); err != nil {
+			t.Fatalf("accepted dataset failed to encode as CSV: %v", err)
+		}
+		ds2, err := ReadCSV(bytes.NewReader(csv1.Bytes()), 1)
+		if err != nil {
+			t.Fatalf("re-reading own CSV encoding failed: %v", err)
+		}
+		if len(ds2.Jobs) != len(ds.Jobs) {
+			t.Fatalf("CSV round trip changed job count: %d -> %d", len(ds.Jobs), len(ds2.Jobs))
+		}
+		var csv2 bytes.Buffer
+		if err := ds2.WriteCSV(&csv2); err != nil {
+			t.Fatalf("round-tripped dataset failed to encode as CSV: %v", err)
+		}
+		if !bytes.Equal(csv1.Bytes(), csv2.Bytes()) {
+			t.Fatalf("CSV encoding is not a fixed point:\nfirst:  %q\nsecond: %q", csv1.Bytes(), csv2.Bytes())
+		}
+		// JSON leg: the same dataset must survive the other codec too.
+		var json1 bytes.Buffer
+		if err := ds2.WriteJSON(&json1); err != nil {
+			t.Fatalf("accepted dataset failed to encode as JSON: %v", err)
+		}
+		ds3, err := ReadJSON(bytes.NewReader(json1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading own JSON encoding failed: %v", err)
+		}
+		if len(ds3.Jobs) != len(ds2.Jobs) {
+			t.Fatalf("JSON round trip changed job count: %d -> %d", len(ds2.Jobs), len(ds3.Jobs))
+		}
+		var json2 bytes.Buffer
+		if err := ds3.WriteJSON(&json2); err != nil {
+			t.Fatalf("round-tripped dataset failed to encode as JSON: %v", err)
+		}
+		if !bytes.Equal(json1.Bytes(), json2.Bytes()) {
+			t.Fatalf("JSON encoding is not a fixed point:\nfirst:  %q\nsecond: %q", json1.Bytes(), json2.Bytes())
+		}
+	})
+}
+
 // FuzzReadJSON: arbitrary bytes must never panic the JSON reader.
 func FuzzReadJSON(f *testing.F) {
 	d := NewDataset(1)
