@@ -1,11 +1,13 @@
 # Build and verification entry points. `make check` is the tier-1 gate
-# (ROADMAP.md): vet, build, and the full test suite under the race detector.
+# (ROADMAP.md): vet, build, a targeted race pass over the scheduler hot
+# path (cluster/slurm/engine — the packages PR 2 rewired), then the full
+# test suite under the race detector.
 
 GO ?= go
 
-.PHONY: check build vet test short race fuzz bench golden clean
+.PHONY: check build vet test short race race-sched fuzz bench bench-figures golden clean
 
-check: vet build race
+check: vet build race-sched race
 
 build:
 	$(GO) build ./...
@@ -23,13 +25,29 @@ short:
 race:
 	$(GO) test -race ./...
 
+# Scheduler-focused race pass: the allocation index, the incremental
+# schedule() loop and the replication engine that drives them in parallel.
+race-sched:
+	$(GO) test -race ./internal/cluster ./internal/slurm ./internal/engine
+
 # Short fuzz session over every trace codec target.
 fuzz:
 	$(GO) test ./internal/trace -fuzz FuzzReadCSV -fuzztime 30s
 	$(GO) test ./internal/trace -fuzz FuzzReadJSON -fuzztime 30s
 	$(GO) test ./internal/trace -fuzz FuzzDatasetRoundTrip -fuzztime 30s
 
+# Scheduler-scaling benchmarks (PR 2): the Schedule/Simulate/Replicate trio
+# at 10k/100k/500k jobs, one timed run each, joined against the committed
+# pre-index baseline into BENCH_PR2.json (see EXPERIMENTS.md).
 bench:
+	$(GO) test -run '^$$' -bench '^Benchmark(Schedule|Simulate|Replicate)$$' \
+		-benchtime 1x -timeout 2h . | tee bench/last_run.txt
+	$(GO) run ./cmd/benchjson -label post-index \
+		-baseline bench/baseline_pr2.json < bench/last_run.txt > BENCH_PR2.json
+
+# Figure/experiment benchmarks: regenerate every paper table and figure
+# metric (the pre-PR2 `make bench`).
+bench-figures:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
 # Regenerate the pinned characterization figures after an intended change;

@@ -1,0 +1,164 @@
+// Command benchjson converts `go test -bench` output on stdin into a stable
+// JSON document, optionally joining a baseline file produced by an earlier
+// run to compute per-benchmark speedups. It exists so `make bench` can emit
+// BENCH_PR2.json — the machine-readable record of the scheduler-scaling
+// claim — without depending on external benchstat tooling.
+//
+// Usage:
+//
+//	go test -bench 'Benchmark(Schedule|Simulate|Replicate)' -benchmem -run '^$' . \
+//	    | benchjson -baseline bench/baseline_pr2.json -label post-index > BENCH_PR2.json
+//
+// The output schema (one object):
+//
+//	{
+//	  "label":      "post-index",            // -label, free-form run tag
+//	  "go_max_procs": 1,
+//	  "benchmarks": [{
+//	     "name":          "BenchmarkSimulate/jobs=100k",
+//	     "iterations":    1,
+//	     "ns_per_op":     123456789,
+//	     "bytes_per_op":  456,                // present with -benchmem
+//	     "allocs_per_op": 7,
+//	     "metrics":       {"jobs/s": 810000}, // custom b.ReportMetric values
+//	     "baseline_ns_per_op": 987654321,     // present when -baseline matches
+//	     "speedup":           8.0             // baseline / current, ns/op
+//	  }]
+//	}
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
+	Speedup         float64 `json:"speedup,omitempty"`
+}
+
+// Document is the emitted JSON root.
+type Document struct {
+	Label      string      `json:"label,omitempty"`
+	GoMaxProcs int         `json:"go_max_procs"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	baselinePath := flag.String("baseline", "", "baseline JSON (same schema) to join for speedup columns")
+	label := flag.String("label", "", "free-form run tag recorded in the output")
+	flag.Parse()
+
+	doc := Document{Label: *label, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if b, ok := parseLine(sc.Text()); ok {
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines on stdin")
+	}
+
+	if *baselinePath != "" {
+		base, err := load(*baselinePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		byName := make(map[string]Benchmark, len(base.Benchmarks))
+		for _, b := range base.Benchmarks {
+			byName[b.Name] = b
+		}
+		for i := range doc.Benchmarks {
+			b := &doc.Benchmarks[i]
+			if prev, ok := byName[b.Name]; ok && b.NsPerOp > 0 {
+				b.BaselineNsPerOp = prev.NsPerOp
+				b.Speedup = prev.NsPerOp / b.NsPerOp
+			}
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parseLine parses one `Benchmark...` result line: name, iteration count,
+// then (value, unit) pairs. Lines that are not benchmark results are skipped.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	// Strip the -<procs> suffix go test appends to the name.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	if b.NsPerOp == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+func load(path string) (*Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var doc Document
+	if err := json.NewDecoder(f).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &doc, nil
+}

@@ -124,6 +124,9 @@ func main() {
 	t.AddRowF("mean GPU occupancy", st.MeanGPUOccupancy())
 	t.AddRowF("max queue length", st.MaxQueueLen)
 	t.AddRowF("monitor overflows", st.MonitorOverflow)
+	t.AddRowF("scheduler passes", st.SchedulePasses)
+	t.AddRowF("allocation attempts", st.AllocAttempts)
+	t.AddRowF("blocked-verdict cache hits", st.AllocCacheHits)
 	if err := t.Render(w); err != nil {
 		log.Fatal(err)
 	}

@@ -4,10 +4,20 @@
 // interconnect. It exposes the resource accounting the scheduler needs —
 // per-node free cores/memory/GPUs, allocation and release with hard
 // conservation invariants, and density-aware placement for multi-GPU jobs.
+//
+// Placement is backed by a free-capacity index: per-node free-GPU buckets,
+// an idle-node set, a shared-CPU set, and cluster-wide aggregate counters.
+// TryAllocate rejects infeasible requests in O(1) against the aggregates and
+// places feasible ones by walking only the nodes that can contribute, in
+// exactly the order the original full-scan algorithm visited them — the
+// indexed and naive placements are node-for-node identical (enforced by
+// EnableAudit and the allocation-equivalence tests), so scheduling outcomes
+// and golden figures are unchanged by the index.
 package cluster
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/gpu"
 )
@@ -69,13 +79,23 @@ func (c Config) TotalGPUs() int { return c.Nodes * c.GPUsPerNode }
 // TotalCores returns Nodes × CoresPerNode.
 func (c Config) TotalCores() int { return c.Nodes * c.CoresPerNode }
 
+// memEps absorbs the floating-point drift of releasing memory by addition
+// when deciding whether a node is back to fully idle.
+const memEps = 1e-9
+
 // Node is one compute node's live resource state.
 type Node struct {
 	Index     int
 	freeCores int
 	freeMemGB float64
+	freeGPUs  int // unallocated devices; kept in lockstep with devices
 	devices   []*gpu.Device
 	exclusive int64 // job holding the node exclusively, or none
+
+	// Index membership caches, owned by Cluster.reindex.
+	bucket int // gpuBuckets slot currently holding this node; 0 = none
+	inIdle bool
+	inCPU  bool
 }
 
 // noExclusive is the sentinel for Node.exclusive.
@@ -87,19 +107,59 @@ func (n *Node) FreeCores() int { return n.freeCores }
 // FreeMemGB returns the unallocated memory.
 func (n *Node) FreeMemGB() float64 { return n.freeMemGB }
 
-// FreeGPUs returns the number of unallocated GPUs.
-func (n *Node) FreeGPUs() int {
-	k := 0
-	for _, d := range n.devices {
-		if d.Free() {
-			k++
-		}
-	}
-	return k
-}
+// FreeGPUs returns the number of unallocated GPUs (O(1), maintained as a
+// counter alongside the device states).
+func (n *Node) FreeGPUs() int { return n.freeGPUs }
 
 // Exclusive reports whether a job holds the node exclusively.
 func (n *Node) Exclusive() bool { return n.exclusive != noExclusive }
+
+// nodeSet is an ordered set of node indices backed by a bitmap: O(1) add,
+// remove and membership, ascending-index iteration at ~64 nodes per word.
+// Ascending order matters — it is the tie-break the placement algorithms
+// share with the pre-index full scan.
+type nodeSet struct {
+	words []uint64
+	n     int
+}
+
+func newNodeSet(capacity int) nodeSet {
+	return nodeSet{words: make([]uint64, (capacity+63)/64)}
+}
+
+func (s *nodeSet) add(i int) {
+	w, b := i>>6, uint64(1)<<(uint(i)&63)
+	if s.words[w]&b == 0 {
+		s.words[w] |= b
+		s.n++
+	}
+}
+
+func (s *nodeSet) remove(i int) {
+	w, b := i>>6, uint64(1)<<(uint(i)&63)
+	if s.words[w]&b != 0 {
+		s.words[w] &^= b
+		s.n--
+	}
+}
+
+func (s *nodeSet) contains(i int) bool {
+	return s.words[i>>6]&(uint64(1)<<(uint(i)&63)) != 0
+}
+
+// each calls fn for every member in ascending index order until fn returns
+// false.
+func (s *nodeSet) each(fn func(i int) bool) {
+	for w, word := range s.words {
+		for word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			if !fn(i) {
+				return
+			}
+			word &= word - 1
+		}
+	}
+}
 
 // Cluster is the full machine. It is not safe for concurrent mutation; the
 // discrete-event scheduler drives it single-threaded, mirroring a Slurm
@@ -109,6 +169,30 @@ type Cluster struct {
 	nodes []*Node
 	// allocations tracks live grants by job ID so Release can be total.
 	allocations map[int64]*Allocation
+
+	// Free-capacity index. The aggregates cover non-exclusive nodes only
+	// (exclusive nodes are invisible to every placement path), so they give
+	// O(1) upper-bound rejection; the sets give scan-free enumeration in the
+	// exact visit order of the pre-index algorithm.
+	freeGPUsShared  int       // free devices on non-exclusive nodes
+	freeCoresShared int       // free cores on non-exclusive nodes
+	gpuBuckets      []nodeSet // [g]: non-exclusive nodes with exactly g free GPUs, g >= 1
+	idleSet         nodeSet   // fully idle nodes (exclusive grants draw from here)
+	cpuSet          nodeSet   // non-exclusive nodes with freeCores > 0
+
+	// planBuf is reusable scratch for the plan-then-commit allocation paths.
+	planBuf []planShare
+	// audit cross-checks every allocation against the naive full-scan
+	// reference; see EnableAudit.
+	audit bool
+}
+
+// planShare is one node's contribution in a not-yet-committed placement.
+type planShare struct {
+	node  *Node
+	gpus  int
+	cores int
+	mem   float64
 }
 
 // New builds a cluster from cfg.
@@ -117,20 +201,37 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{cfg: cfg, allocations: make(map[int64]*Allocation)}
+	c.gpuBuckets = make([]nodeSet, cfg.GPUsPerNode+1)
+	for g := range c.gpuBuckets {
+		c.gpuBuckets[g] = newNodeSet(cfg.Nodes)
+	}
+	c.idleSet = newNodeSet(cfg.Nodes)
+	c.cpuSet = newNodeSet(cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		n := &Node{
 			Index:     i,
 			freeCores: cfg.CoresPerNode,
 			freeMemGB: cfg.MemGBPerNode,
+			freeGPUs:  cfg.GPUsPerNode,
 			exclusive: noExclusive,
 		}
 		for g := 0; g < cfg.GPUsPerNode; g++ {
 			n.devices = append(n.devices, gpu.NewDevice(gpu.DeviceID{Node: i, Index: g}, cfg.GPUSpec))
 		}
 		c.nodes = append(c.nodes, n)
+		c.freeGPUsShared += n.freeGPUs
+		c.freeCoresShared += n.freeCores
+		c.reindex(n)
 	}
 	return c, nil
 }
+
+// EnableAudit makes every TryAllocate cross-check the indexed placement
+// against the naive full-scan reference implementation (and the cluster
+// invariants) before committing, turning any divergence into a hard error.
+// The scheduler property tests run with this on; production runs leave it
+// off — the audit re-scans every node per allocation.
+func (c *Cluster) EnableAudit() { c.audit = true }
 
 // Config returns the cluster's configuration.
 func (c *Cluster) Config() Config { return c.cfg }
@@ -157,6 +258,13 @@ type Request struct {
 	// with GPUs > 0 it reserves ceil(GPUs/GPUsPerNode) idle nodes outright —
 	// the non-colocated ablation.
 	Exclusive bool
+	// AvoidGPUNodes keeps a CPU request off nodes that currently have free
+	// GPUs. The scheduler sets it while a reservation is accumulating freed
+	// devices for an aged GPU job, so CPU jobs cannot strand the reserved
+	// GPUs by draining those nodes' cores and memory. Exclusive CPU requests
+	// are refused outright while it is set (on a machine with GPUs, every
+	// fully idle node has free GPUs). Ignored for GPU requests.
+	AvoidGPUNodes bool
 }
 
 // NodeShare is the slice of one node granted to a job.
@@ -208,6 +316,14 @@ func (c *Cluster) TryAllocate(req Request) (*Allocation, error) {
 	if req.GPUs < 0 || req.Cores < 0 || req.CoresPerGPU < 0 {
 		return nil, fmt.Errorf("cluster: negative resource in request %+v", req)
 	}
+	if c.audit {
+		return c.auditAllocate(req)
+	}
+	return c.tryAllocate(req)
+}
+
+// tryAllocate dispatches to the four placement paths and records the grant.
+func (c *Cluster) tryAllocate(req Request) (*Allocation, error) {
 	var alloc *Allocation
 	var err error
 	if req.GPUs > 0 && req.Exclusive {
@@ -226,97 +342,129 @@ func (c *Cluster) TryAllocate(req Request) (*Allocation, error) {
 	return alloc, nil
 }
 
-// allocateGPUJob grants a GPU job with dense placement.
-func (c *Cluster) allocateGPUJob(req Request) (*Allocation, error) {
-	type candidate struct {
-		node     *Node
-		freeGPUs int
+// auditAllocate runs the naive full-scan planner, then the indexed path, and
+// fails hard on any divergence in outcome or placement.
+func (c *Cluster) auditAllocate(req Request) (*Allocation, error) {
+	wantShares, wantErr := c.naivePlan(req)
+	alloc, err := c.tryAllocate(req)
+	if (err == nil) != (wantErr == nil) {
+		return nil, fmt.Errorf("cluster: audit divergence for job %d: indexed err=%v, naive err=%v",
+			req.JobID, err, wantErr)
 	}
-	var cands []candidate
-	totalFree := 0
-	for _, n := range c.nodes {
-		if n.Exclusive() {
-			continue
-		}
-		fg := n.FreeGPUs()
-		if fg == 0 {
-			continue
-		}
-		// The node must be able to host at least one GPU's CPU slice.
-		if n.freeCores < req.CoresPerGPU || n.freeMemGB < req.MemGBPerGPU {
-			continue
-		}
-		cands = append(cands, candidate{node: n, freeGPUs: fg})
-		totalFree += fg
+	if err != nil {
+		return nil, err
 	}
-	if totalFree < req.GPUs {
-		return nil, ErrInsufficient{Req: req}
+	if !sharesEqual(alloc.Shares, wantShares) {
+		return nil, fmt.Errorf("cluster: audit divergence for job %d:\nindexed: %+v\nnaive:   %+v",
+			req.JobID, alloc.Shares, wantShares)
 	}
-	// Dense placement. If the whole job fits on one node, best-fit: prefer
-	// the fullest node that still fits, keeping whole nodes free for larger
-	// jobs. If the job must span nodes, widest-first: prefer nodes with the
-	// most free GPUs to minimize the span. Ties break toward lower index
-	// (rack adjacency via contiguous indices). Insertion-sort is fine:
-	// candidate lists are a few hundred entries.
-	fitsOneNode := false
-	for _, cand := range cands {
-		if cand.freeGPUs >= req.GPUs {
-			fitsOneNode = true
-			break
+	if ierr := c.CheckInvariants(); ierr != nil {
+		return nil, fmt.Errorf("cluster: audit after job %d: %w", req.JobID, ierr)
+	}
+	return alloc, nil
+}
+
+// sharesEqual compares two placements node-for-node, device-for-device.
+func sharesEqual(a, b []NodeShare) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Node != b[i].Node || a[i].Cores != b[i].Cores || a[i].MemGB != b[i].MemGB ||
+			len(a[i].GPUIDs) != len(b[i].GPUIDs) {
+			return false
 		}
-	}
-	better := func(a, b candidate) bool {
-		if a.freeGPUs != b.freeGPUs {
-			if fitsOneNode {
-				// Best-fit: fewest free GPUs that still cover the request.
-				aFits, bFits := a.freeGPUs >= req.GPUs, b.freeGPUs >= req.GPUs
-				if aFits != bFits {
-					return aFits
-				}
-				return a.freeGPUs < b.freeGPUs
+		for j := range a[i].GPUIDs {
+			if a[i].GPUIDs[j] != b[i].GPUIDs[j] {
+				return false
 			}
-			return a.freeGPUs > b.freeGPUs
-		}
-		return a.node.Index < b.node.Index
-	}
-	for i := 1; i < len(cands); i++ {
-		for j := i; j > 0 && better(cands[j], cands[j-1]); j-- {
-			cands[j], cands[j-1] = cands[j-1], cands[j]
 		}
 	}
-	alloc := &Allocation{JobID: req.JobID}
+	return true
+}
+
+// allocateGPUJob grants a GPU job with dense placement, enumerating only
+// nodes with free devices via the GPU buckets. The visit order reproduces
+// the pre-index sort exactly: if the whole job fits on one candidate node,
+// best-fit (fullest fitting nodes first: buckets req..G ascending, then the
+// too-small buckets ascending); otherwise widest-first (buckets G..1
+// descending). Ties break toward lower node index — the buckets iterate
+// ascending natively. Placement is planned read-only and committed only when
+// complete, so shortage needs no rollback.
+func (c *Cluster) allocateGPUJob(req Request) (*Allocation, error) {
+	if req.GPUs > c.freeGPUsShared {
+		return nil, ErrInsufficient{Req: req} // O(1): not enough devices exist
+	}
+	ok := func(n *Node) bool {
+		// The node must be able to host at least one GPU's CPU slice.
+		return n.freeCores >= req.CoresPerGPU && n.freeMemGB >= req.MemGBPerGPU
+	}
+	maxG := c.cfg.GPUsPerNode
+	fitsOneNode := false
+	if req.GPUs <= maxG {
+		for g := req.GPUs; g <= maxG && !fitsOneNode; g++ {
+			c.gpuBuckets[g].each(func(i int) bool {
+				if ok(c.nodes[i]) {
+					fitsOneNode = true
+					return false
+				}
+				return true
+			})
+		}
+	}
+	plan := c.planBuf[:0]
 	remaining := req.GPUs
-	for _, cand := range cands {
-		if remaining == 0 {
-			break
+	visit := func(i int) bool {
+		n := c.nodes[i]
+		if !ok(n) {
+			return true
 		}
-		n := cand.node
 		take := remaining
-		if take > cand.freeGPUs {
-			take = cand.freeGPUs
+		if take > n.freeGPUs {
+			take = n.freeGPUs
 		}
 		// Respect the per-GPU CPU slice on this node.
-		maxByCores := take
 		if req.CoresPerGPU > 0 {
-			maxByCores = n.freeCores / req.CoresPerGPU
+			if m := n.freeCores / req.CoresPerGPU; take > m {
+				take = m
+			}
 		}
-		maxByMem := take
 		if req.MemGBPerGPU > 0 {
-			maxByMem = int(n.freeMemGB / req.MemGBPerGPU)
+			if m := int(n.freeMemGB / req.MemGBPerGPU); take > m {
+				take = m
+			}
 		}
-		if take > maxByCores {
-			take = maxByCores
+		if take <= 0 {
+			return true
 		}
-		if take > maxByMem {
-			take = maxByMem
+		plan = append(plan, planShare{node: n, gpus: take, cores: take * req.CoresPerGPU,
+			mem: float64(take) * req.MemGBPerGPU})
+		remaining -= take
+		return remaining > 0
+	}
+	if fitsOneNode {
+		for g := req.GPUs; g <= maxG && remaining > 0; g++ {
+			c.gpuBuckets[g].each(visit)
 		}
-		if take == 0 {
-			continue
+		for g := 1; g < req.GPUs && remaining > 0; g++ {
+			c.gpuBuckets[g].each(visit)
 		}
-		share := NodeShare{Node: n.Index, Cores: take * req.CoresPerGPU, MemGB: float64(take) * req.MemGBPerGPU}
+	} else {
+		for g := maxG; g >= 1 && remaining > 0; g-- {
+			c.gpuBuckets[g].each(visit)
+		}
+	}
+	c.planBuf = plan[:0] // retain grown capacity for the next request
+	if remaining > 0 {
+		return nil, ErrInsufficient{Req: req}
+	}
+	alloc := &Allocation{JobID: req.JobID, Shares: make([]NodeShare, 0, len(plan))}
+	for _, p := range plan {
+		share := NodeShare{Node: p.node.Index, Cores: p.cores, MemGB: p.mem,
+			GPUIDs: make([]gpu.DeviceID, 0, p.gpus)}
 		granted := 0
-		for _, d := range n.devices {
-			if granted == take {
+		for _, d := range p.node.devices {
+			if granted == p.gpus {
 				break
 			}
 			if d.Free() {
@@ -327,57 +475,45 @@ func (c *Cluster) allocateGPUJob(req Request) (*Allocation, error) {
 				granted++
 			}
 		}
-		n.freeCores -= share.Cores
-		n.freeMemGB -= share.MemGB
+		c.book(p.node, p.cores, p.mem, p.gpus)
 		alloc.Shares = append(alloc.Shares, share)
-		remaining -= take
-	}
-	if remaining > 0 {
-		// Roll back partial grants; the per-node CPU constraints blocked us.
-		c.rollback(alloc)
-		return nil, ErrInsufficient{Req: req}
 	}
 	return alloc, nil
 }
 
-// allocateExclusiveCPUJob grants whole free nodes until cores are covered.
+// allocateExclusiveCPUJob grants whole free nodes until cores are covered,
+// drawing from the idle-node set.
 func (c *Cluster) allocateExclusiveCPUJob(req Request) (*Allocation, error) {
+	if req.AvoidGPUNodes && c.cfg.GPUsPerNode > 0 {
+		// A reservation is holding freed GPUs; every fully idle node has
+		// free GPUs, so whole-node grants would strand them.
+		return nil, ErrInsufficient{Req: req}
+	}
 	nodesNeeded := (req.Cores + c.cfg.CoresPerNode - 1) / c.cfg.CoresPerNode
 	if nodesNeeded < 1 {
 		nodesNeeded = 1
 	}
-	free := c.idleNodes(nodesNeeded)
-	if len(free) < nodesNeeded {
+	if c.idleSet.n < nodesNeeded {
 		return nil, ErrInsufficient{Req: req}
 	}
-	alloc := &Allocation{JobID: req.JobID}
+	free := c.takeIdleNodes(nodesNeeded)
+	alloc := &Allocation{JobID: req.JobID, Shares: make([]NodeShare, 0, nodesNeeded)}
 	for _, n := range free {
-		n.exclusive = req.JobID
-		n.freeCores = 0
-		n.freeMemGB = 0
+		c.markExclusive(n, req.JobID)
 		alloc.Shares = append(alloc.Shares, NodeShare{Node: n.Index, Cores: c.cfg.CoresPerNode, MemGB: c.cfg.MemGBPerNode})
 	}
 	return alloc, nil
 }
 
-// idleNodes returns up to want fully idle nodes: no exclusive owner, every
-// core, every byte of memory and every device free. Exclusive grants book the
-// whole node, so a node that has leased even a memory-only slice to a shared
-// job must not qualify — treating it as idle double-books the leased memory.
-// Memory is compared with a tolerance because release restores it by
-// floating-point addition.
-func (c *Cluster) idleNodes(want int) []*Node {
-	var free []*Node
-	for _, n := range c.nodes {
-		if n.Exclusive() || n.freeCores != c.cfg.CoresPerNode ||
-			n.freeMemGB < c.cfg.MemGBPerNode-1e-9 || n.FreeGPUs() != len(n.devices) {
-			continue
-		}
-		free = append(free, n)
-		if len(free) == want {
-			break
-		}
-	}
+// takeIdleNodes snapshots the first want members of the idle set in index
+// order. A snapshot, not a live iteration: callers mutate membership while
+// consuming the result.
+func (c *Cluster) takeIdleNodes(want int) []*Node {
+	free := make([]*Node, 0, want)
+	c.idleSet.each(func(i int) bool {
+		free = append(free, c.nodes[i])
+		return len(free) < want
+	})
 	return free
 }
 
@@ -391,17 +527,16 @@ func (c *Cluster) allocateExclusiveGPUJob(req Request) (*Allocation, error) {
 		return nil, ErrInsufficient{Req: req}
 	}
 	nodesNeeded := (req.GPUs + perNode - 1) / perNode
-	free := c.idleNodes(nodesNeeded)
-	if len(free) < nodesNeeded {
+	if c.idleSet.n < nodesNeeded {
 		return nil, ErrInsufficient{Req: req}
 	}
-	alloc := &Allocation{JobID: req.JobID}
+	free := c.takeIdleNodes(nodesNeeded)
+	alloc := &Allocation{JobID: req.JobID, Shares: make([]NodeShare, 0, nodesNeeded)}
 	remaining := req.GPUs
 	for _, n := range free {
-		n.exclusive = req.JobID
-		n.freeCores = 0
-		n.freeMemGB = 0
+		c.markExclusive(n, req.JobID)
 		share := NodeShare{Node: n.Index, Cores: c.cfg.CoresPerNode, MemGB: c.cfg.MemGBPerNode}
+		take := 0
 		for _, d := range n.devices {
 			if remaining == 0 {
 				break
@@ -411,22 +546,28 @@ func (c *Cluster) allocateExclusiveGPUJob(req Request) (*Allocation, error) {
 			}
 			share.GPUIDs = append(share.GPUIDs, d.ID)
 			remaining--
+			take++
 		}
+		c.book(n, 0, 0, take)
 		alloc.Shares = append(alloc.Shares, share)
 	}
 	return alloc, nil
 }
 
-// allocateSharedCPUJob grants core/memory slices on shared nodes, first-fit.
+// allocateSharedCPUJob grants core/memory slices on shared nodes, first-fit
+// over the shared-CPU set (non-exclusive nodes with free cores, ascending
+// index — the pre-index scan order). Planned read-only, committed when
+// covered; shortage needs no rollback.
 func (c *Cluster) allocateSharedCPUJob(req Request) (*Allocation, error) {
-	alloc := &Allocation{JobID: req.JobID}
+	if req.Cores > c.freeCoresShared {
+		return nil, ErrInsufficient{Req: req} // O(1): not enough cores exist
+	}
+	plan := c.planBuf[:0]
 	coresLeft, memLeft := req.Cores, req.MemGB
-	for _, n := range c.nodes {
-		if coresLeft <= 0 && memLeft <= 0 {
-			break
-		}
-		if n.Exclusive() || n.freeCores == 0 {
-			continue
+	c.cpuSet.each(func(i int) bool {
+		n := c.nodes[i]
+		if req.AvoidGPUNodes && n.freeGPUs > 0 {
+			return true
 		}
 		takeCores := coresLeft
 		if takeCores > n.freeCores {
@@ -437,7 +578,7 @@ func (c *Cluster) allocateSharedCPUJob(req Request) (*Allocation, error) {
 			takeMem = n.freeMemGB
 		}
 		if takeCores <= 0 && takeMem <= 0 {
-			continue
+			return true
 		}
 		if takeCores < 0 {
 			takeCores = 0
@@ -445,31 +586,82 @@ func (c *Cluster) allocateSharedCPUJob(req Request) (*Allocation, error) {
 		if takeMem < 0 {
 			takeMem = 0
 		}
-		n.freeCores -= takeCores
-		n.freeMemGB -= takeMem
-		alloc.Shares = append(alloc.Shares, NodeShare{Node: n.Index, Cores: takeCores, MemGB: takeMem})
+		plan = append(plan, planShare{node: n, cores: takeCores, mem: takeMem})
 		coresLeft -= takeCores
 		memLeft -= takeMem
-	}
+		return coresLeft > 0 || memLeft > 0
+	})
+	c.planBuf = plan[:0]
 	if coresLeft > 0 || memLeft > 0 {
-		c.rollback(alloc)
 		return nil, ErrInsufficient{Req: req}
+	}
+	alloc := &Allocation{JobID: req.JobID, Shares: make([]NodeShare, 0, len(plan))}
+	for _, p := range plan {
+		c.book(p.node, p.cores, p.mem, 0)
+		alloc.Shares = append(alloc.Shares, NodeShare{Node: p.node.Index, Cores: p.cores, MemGB: p.mem})
 	}
 	return alloc, nil
 }
 
-// rollback returns a partially granted allocation's resources.
-func (c *Cluster) rollback(alloc *Allocation) {
-	for _, s := range alloc.Shares {
-		n := c.nodes[s.Node]
-		n.freeCores += s.Cores
-		n.freeMemGB += s.MemGB
-		for _, id := range s.GPUIDs {
-			// Best effort: the device was allocated moments ago.
-			_ = n.devices[id.Index].Release()
-		}
+// book debits (or, with negative deltas, credits) a node's free resources
+// and keeps the capacity index coherent. Exclusive nodes are outside the
+// shared aggregates, so only their per-node counters move.
+func (c *Cluster) book(n *Node, cores int, mem float64, gpus int) {
+	n.freeCores -= cores
+	n.freeMemGB -= mem
+	n.freeGPUs -= gpus
+	if !n.Exclusive() {
+		c.freeCoresShared -= cores
+		c.freeGPUsShared -= gpus
 	}
-	alloc.Shares = nil
+	c.reindex(n)
+}
+
+// markExclusive hands the whole node to jobID: its remaining free capacity
+// leaves the shared aggregates and the node drains to zero.
+func (c *Cluster) markExclusive(n *Node, jobID int64) {
+	c.freeCoresShared -= n.freeCores
+	c.freeGPUsShared -= n.freeGPUs
+	n.exclusive = jobID
+	n.freeCores = 0
+	n.freeMemGB = 0
+	c.reindex(n)
+}
+
+// reindex recomputes the node's index memberships from its raw state.
+func (c *Cluster) reindex(n *Node) {
+	bucket := 0
+	if !n.Exclusive() && n.freeGPUs > 0 {
+		bucket = n.freeGPUs
+	}
+	if bucket != n.bucket {
+		if n.bucket > 0 {
+			c.gpuBuckets[n.bucket].remove(n.Index)
+		}
+		if bucket > 0 {
+			c.gpuBuckets[bucket].add(n.Index)
+		}
+		n.bucket = bucket
+	}
+	idle := !n.Exclusive() && n.freeCores == c.cfg.CoresPerNode &&
+		n.freeMemGB >= c.cfg.MemGBPerNode-memEps && n.freeGPUs == len(n.devices)
+	if idle != n.inIdle {
+		if idle {
+			c.idleSet.add(n.Index)
+		} else {
+			c.idleSet.remove(n.Index)
+		}
+		n.inIdle = idle
+	}
+	cpu := !n.Exclusive() && n.freeCores > 0
+	if cpu != n.inCPU {
+		if cpu {
+			c.cpuSet.add(n.Index)
+		} else {
+			c.cpuSet.remove(n.Index)
+		}
+		n.inCPU = cpu
+	}
 }
 
 // Release returns a job's resources. It errors if the job holds nothing —
@@ -482,23 +674,26 @@ func (c *Cluster) Release(jobID int64) error {
 	for _, s := range alloc.Shares {
 		n := c.nodes[s.Node]
 		if n.exclusive == jobID {
-			n.exclusive = noExclusive
-			n.freeCores = c.cfg.CoresPerNode
-			n.freeMemGB = c.cfg.MemGBPerNode
 			for _, id := range s.GPUIDs {
 				if err := n.devices[id.Index].Release(); err != nil {
 					return err
 				}
 			}
+			n.freeGPUs += len(s.GPUIDs)
+			n.exclusive = noExclusive
+			n.freeCores = c.cfg.CoresPerNode
+			n.freeMemGB = c.cfg.MemGBPerNode
+			c.freeCoresShared += n.freeCores
+			c.freeGPUsShared += n.freeGPUs
+			c.reindex(n)
 			continue
 		}
-		n.freeCores += s.Cores
-		n.freeMemGB += s.MemGB
 		for _, id := range s.GPUIDs {
 			if err := n.devices[id.Index].Release(); err != nil {
 				return err
 			}
 		}
+		c.book(n, -s.Cores, -s.MemGB, -len(s.GPUIDs))
 	}
 	delete(c.allocations, jobID)
 	return nil
@@ -509,42 +704,69 @@ func (c *Cluster) Device(id gpu.DeviceID) *gpu.Device {
 	return c.nodes[id.Node].devices[id.Index]
 }
 
-// FreeGPUs returns the cluster-wide count of unallocated GPUs.
-func (c *Cluster) FreeGPUs() int {
-	k := 0
-	for _, n := range c.nodes {
-		if !n.Exclusive() {
-			k += n.FreeGPUs()
-		}
-	}
-	return k
-}
+// FreeGPUs returns the cluster-wide count of unallocated GPUs on
+// non-exclusive nodes — the devices a colocated GPU job could reach.
+func (c *Cluster) FreeGPUs() int { return c.freeGPUsShared }
 
 // LiveAllocations returns the number of outstanding allocations.
 func (c *Cluster) LiveAllocations() int { return len(c.allocations) }
 
-// CheckInvariants verifies resource conservation: free counts within bounds,
-// no device allocated to an unknown job, exclusive nodes fully drained. It
-// is called by tests and by the simulator in debug mode.
+// CheckInvariants verifies resource conservation — free counts within
+// bounds, no device allocated to an unknown job, exclusive nodes fully
+// drained — and that the capacity index (per-node counters, bucket/set
+// memberships, shared aggregates) matches a from-scratch recomputation. It
+// is called by tests and, under EnableAudit, after every allocation.
 func (c *Cluster) CheckInvariants() error {
+	wantGPUs, wantCores := 0, 0
 	for _, n := range c.nodes {
 		if n.freeCores < 0 || n.freeCores > c.cfg.CoresPerNode {
 			return fmt.Errorf("cluster: node %d free cores %d out of range", n.Index, n.freeCores)
 		}
-		if n.freeMemGB < -1e-9 || n.freeMemGB > c.cfg.MemGBPerNode+1e-9 {
+		if n.freeMemGB < -memEps || n.freeMemGB > c.cfg.MemGBPerNode+memEps {
 			return fmt.Errorf("cluster: node %d free mem %v out of range", n.Index, n.freeMemGB)
 		}
+		fg := 0
 		for _, d := range n.devices {
 			if d.Free() {
+				fg++
 				continue
 			}
 			if _, ok := c.allocations[d.AllocatedTo()]; !ok {
 				return fmt.Errorf("cluster: device %s allocated to unknown job %d", d.ID, d.AllocatedTo())
 			}
 		}
+		if fg != n.freeGPUs {
+			return fmt.Errorf("cluster: node %d free-GPU counter %d, devices say %d", n.Index, n.freeGPUs, fg)
+		}
 		if n.Exclusive() && (n.freeCores != 0 || n.freeMemGB != 0) {
 			return fmt.Errorf("cluster: exclusive node %d not fully drained", n.Index)
 		}
+		if !n.Exclusive() {
+			wantGPUs += n.freeGPUs
+			wantCores += n.freeCores
+		}
+		wantBucket := 0
+		if !n.Exclusive() && n.freeGPUs > 0 {
+			wantBucket = n.freeGPUs
+		}
+		if n.bucket != wantBucket || (wantBucket > 0 && !c.gpuBuckets[wantBucket].contains(n.Index)) {
+			return fmt.Errorf("cluster: node %d in GPU bucket %d, want %d", n.Index, n.bucket, wantBucket)
+		}
+		wantIdle := !n.Exclusive() && n.freeCores == c.cfg.CoresPerNode &&
+			n.freeMemGB >= c.cfg.MemGBPerNode-memEps && n.freeGPUs == len(n.devices)
+		if n.inIdle != wantIdle || c.idleSet.contains(n.Index) != wantIdle {
+			return fmt.Errorf("cluster: node %d idle-set membership %v, want %v", n.Index, n.inIdle, wantIdle)
+		}
+		wantCPU := !n.Exclusive() && n.freeCores > 0
+		if n.inCPU != wantCPU || c.cpuSet.contains(n.Index) != wantCPU {
+			return fmt.Errorf("cluster: node %d cpu-set membership %v, want %v", n.Index, n.inCPU, wantCPU)
+		}
+	}
+	if wantGPUs != c.freeGPUsShared {
+		return fmt.Errorf("cluster: shared free-GPU aggregate %d, nodes say %d", c.freeGPUsShared, wantGPUs)
+	}
+	if wantCores != c.freeCoresShared {
+		return fmt.Errorf("cluster: shared free-core aggregate %d, nodes say %d", c.freeCoresShared, wantCores)
 	}
 	return nil
 }

@@ -71,23 +71,27 @@ func Characterize(ds *trace.Dataset, st slurm.Stats) Sample {
 	u := core.Utilization(ds)
 	lc := core.Lifecycle(ds)
 
-	sm := Sample{
-		"jobs_completed":           float64(st.Completed),
-		"max_queue_len":            float64(st.MaxQueueLen),
-		"mean_gpu_occupancy":       st.MeanGPUOccupancy(),
-		"gpu_wait_under_1min_frac": w.GPUWaitUnder1MinFrac,
-		"gpu_wait_pct_under_2frac": w.GPUWaitPctUnder2Frac,
-		"sm_util_median_pct":       u.SM.P50,
-		"mem_util_median_pct":      u.Mem.P50,
-		"memsize_median_pct":       u.MemSize.P50,
-	}
+	// Sized for every key assigned below: the 8 literals, 5 wait stats,
+	// 4 size classes and 2 per lifecycle category — avoids rehashing the
+	// map once per replication on the hot merge path.
+	sm := make(Sample, 17+2*int(trace.NumCategories))
+	sm["jobs_completed"] = float64(st.Completed)
+	sm["max_queue_len"] = float64(st.MaxQueueLen)
+	sm["mean_gpu_occupancy"] = st.MeanGPUOccupancy()
+	sm["gpu_wait_under_1min_frac"] = w.GPUWaitUnder1MinFrac
+	sm["gpu_wait_pct_under_2frac"] = w.GPUWaitPctUnder2Frac
+	sm["sm_util_median_pct"] = u.SM.P50
+	sm["mem_util_median_pct"] = u.Mem.P50
+	sm["memsize_median_pct"] = u.MemSize.P50
 
-	var gpuWaits, cpuWaits []float64
-	for _, j := range ds.GPUJobs() {
-		gpuWaits = append(gpuWaits, j.WaitSec)
+	gpuJobs, cpuJobs := ds.GPUJobs(), ds.CPUJobs()
+	gpuWaits := make([]float64, len(gpuJobs))
+	for i, j := range gpuJobs {
+		gpuWaits[i] = j.WaitSec
 	}
-	for _, j := range ds.CPUJobs() {
-		cpuWaits = append(cpuWaits, j.WaitSec)
+	cpuWaits := make([]float64, len(cpuJobs))
+	for i, j := range cpuJobs {
+		cpuWaits[i] = j.WaitSec
 	}
 	sm["gpu_wait_median_s"] = stats.Median(gpuWaits)
 	sm["gpu_wait_p90_s"] = stats.Quantile(gpuWaits, 0.9)

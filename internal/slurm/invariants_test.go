@@ -146,6 +146,11 @@ func TestSchedulerInvariantsRandomized(t *testing.T) {
 				cfg := DefaultConfig()
 				cfg.Cluster.Nodes = 6
 				cfg.Policy = pol
+				// Every allocation the scheduler makes is cross-checked
+				// against the pre-index full-scan placement (node-for-node)
+				// and the cluster invariants — the allocation-equivalence
+				// guarantee that keeps golden figures pinned.
+				cfg.AuditPlacement = true
 				specs := contended(t, seed, cfg)
 				_, results, st := runSim(t, cfg, specs)
 				if st.Completed != len(specs) {

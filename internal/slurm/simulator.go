@@ -16,7 +16,6 @@ package slurm
 import (
 	"container/heap"
 	"fmt"
-	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/gpu"
@@ -33,12 +32,17 @@ type Policy struct {
 	Colocate bool
 	// MultiGPUPriority schedules multi-GPU jobs ahead of the queue (§V).
 	MultiGPUPriority bool
-	// BackfillDepth is how far past a blocked queue head the scheduler
-	// looks for jobs that fit now; 0 disables backfill.
+	// BackfillDepth bounds how much queue a scheduling pass examines once
+	// jobs start blocking: the pass stops as soon as BackfillDepth jobs have
+	// been found blocked, so at most that many blocked jobs are skipped over
+	// in search of backfill. 0 disables backfill entirely — a blocked queue
+	// head blocks everything behind it (strict FIFO).
 	BackfillDepth int
 	// ReservationAgeSec protects large jobs from backfill starvation: once
-	// the blocked queue head has waited this long, backfill pauses for GPU
-	// jobs so freed devices accumulate for the head. 0 disables the guard.
+	// any blocked GPU job has waited this long, backfill pauses for GPU jobs
+	// behind it so freed devices accumulate for it, and CPU jobs are kept
+	// off nodes with free GPUs so they cannot strand the reserved devices.
+	// 0 disables the guard.
 	ReservationAgeSec float64
 }
 
@@ -59,6 +63,11 @@ type Config struct {
 	PowerModel gpu.PowerModel
 	// DetailedJobs marks jobs whose full time series is retained.
 	DetailedJobs map[int64]bool
+	// AuditPlacement cross-checks every allocation against the naive
+	// full-scan reference placement (cluster.EnableAudit) and re-verifies
+	// the cluster invariants after each grant. Test/debug only — it restores
+	// the full node scan the capacity index exists to avoid.
+	AuditPlacement bool
 }
 
 // DefaultConfig returns a paper-shaped configuration without monitoring.
@@ -92,6 +101,10 @@ type Stats struct {
 	HorizonSec      float64 // makespan of the simulation
 	TotalGPUs       int
 	MonitorOverflow int
+	// Scheduler hot-path counters (perf observability, not figures).
+	SchedulePasses int64 // queue scans triggered by events
+	AllocAttempts  int64 // TryAllocate calls issued by the policy loop
+	AllocCacheHits int64 // pending jobs skipped via the blocked-verdict cache
 }
 
 // MeanGPUOccupancy returns busy-GPU-hours over capacity-hours.
@@ -141,8 +154,28 @@ type Simulator struct {
 	cluster *cluster.Cluster
 	pipe    *monitor.Pipeline
 
-	specs     []workload.JobSpec
-	pending   []int // spec indices waiting in the queue, submit order
+	specs []workload.JobSpec
+	// The pending queue, split by priority class: when MultiGPUPriority is
+	// on, multi-GPU jobs scan before everything else. Each queue holds spec
+	// indices in submit order, so the pair is equivalent to the stable
+	// multi-first sort the scheduler used to apply — without re-sorting a
+	// copy of the queue on every pass.
+	pendMulti  []int
+	pendSingle []int
+	pendingN   int
+	// startedMark flags spec indices started during the current pass so the
+	// queues compact in place afterwards.
+	startedMark []bool
+	// Blocked-verdict cache. Within one epoch (no release since the verdict)
+	// cluster capacity only shrinks, so a job seen blocked stays blocked and
+	// TryAllocate need not be retried. blockedRestricted records whether the
+	// verdict was computed under the reservation's AvoidGPUNodes restriction;
+	// such a verdict only remains valid while the restriction is active. A
+	// saturated cluster thus short-circuits the whole scan.
+	epoch             uint64
+	blockedEpoch      []uint64
+	blockedRestricted []bool
+
 	events    eventHeap
 	seq       int
 	now       float64
@@ -160,9 +193,13 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.AuditPlacement {
+		cl.EnableAudit()
+	}
 	s := &Simulator{
 		cfg:      cfg,
 		cluster:  cl,
+		epoch:    1,
 		results:  make(map[int64]*Result),
 		monitors: make(map[int64]*monitor.JobMonitor),
 	}
@@ -183,17 +220,32 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 // produces them).
 func (s *Simulator) Run(specs []workload.JobSpec) (map[int64]*Result, Stats, error) {
 	s.specs = specs
+	n := len(specs)
+	s.results = make(map[int64]*Result, n)
+	s.startedMark = make([]bool, n)
+	s.blockedEpoch = make([]uint64, n)
+	s.blockedRestricted = make([]bool, n)
+	// Specs arrive sorted by SubmitSec with ascending sequence numbers, so
+	// the appended slice is already heap-ordered; Init is O(n) regardless.
+	s.events = make(eventHeap, 0, n+1)
 	for i := range specs {
-		s.push(event{timeSec: specs[i].SubmitSec, kind: evSubmit, idx: i})
+		s.events = append(s.events, event{timeSec: specs[i].SubmitSec, kind: evSubmit, idx: i, seq: s.seq})
+		s.seq++
 	}
+	heap.Init(&s.events)
 	for s.events.Len() > 0 {
 		e := heap.Pop(&s.events).(event)
 		s.advance(e.timeSec)
 		switch e.kind {
 		case evSubmit:
-			s.pending = append(s.pending, e.idx)
-			if len(s.pending) > s.stats.MaxQueueLen {
-				s.stats.MaxQueueLen = len(s.pending)
+			if s.cfg.Policy.MultiGPUPriority && s.specs[e.idx].NumGPUs > 1 {
+				s.pendMulti = append(s.pendMulti, e.idx)
+			} else {
+				s.pendSingle = append(s.pendSingle, e.idx)
+			}
+			s.pendingN++
+			if s.pendingN > s.stats.MaxQueueLen {
+				s.stats.MaxQueueLen = s.pendingN
 			}
 		case evFinish:
 			if err := s.finish(e.idx); err != nil {
@@ -204,11 +256,11 @@ func (s *Simulator) Run(specs []workload.JobSpec) (map[int64]*Result, Stats, err
 			return nil, s.stats, err
 		}
 		if s.telemetry != nil {
-			s.telemetry.record(s.now, s.busyGPUs, len(s.pending))
+			s.telemetry.record(s.now, s.busyGPUs, s.pendingN)
 		}
 	}
-	if len(s.pending) > 0 {
-		return nil, s.stats, fmt.Errorf("slurm: %d jobs still pending at drain", len(s.pending))
+	if s.pendingN > 0 {
+		return nil, s.stats, fmt.Errorf("slurm: %d jobs still pending at drain", s.pendingN)
 	}
 	s.stats.Completed = len(s.results)
 	s.stats.HorizonSec = s.now
@@ -332,63 +384,107 @@ func requestFor(cfg Config, sp *workload.JobSpec) cluster.Request {
 	}
 }
 
-// schedule makes a pass over the queue, starting everything that fits.
+// schedule makes a pass over the queue in priority order (multi-GPU jobs
+// first when MultiGPUPriority is on, submit order within each class),
+// starting everything that fits. The pass stops once BackfillDepth jobs have
+// been found blocked. Jobs already known to be blocked in the current epoch
+// are skipped without re-asking the cluster — capacity only shrinks between
+// releases, so the verdict cannot have improved.
 func (s *Simulator) schedule() error {
-	if len(s.pending) == 0 {
+	if s.pendingN == 0 {
 		return nil
 	}
-	order := make([]int, len(s.pending))
-	copy(order, s.pending)
-	if s.cfg.Policy.MultiGPUPriority {
-		// Stable: multi-GPU jobs jump ahead, FIFO otherwise.
-		sort.SliceStable(order, func(a, b int) bool {
-			ma := s.specs[order[a]].NumGPUs > 1
-			mb := s.specs[order[b]].NumGPUs > 1
-			return ma && !mb
-		})
-	}
+	s.stats.SchedulePasses++
 	depth := s.cfg.Policy.BackfillDepth
-	started := map[int]bool{}
+	ageSec := s.cfg.Policy.ReservationAgeSec
 	blocked := 0
 	reserving := false
-	for _, idx := range order {
-		if depth > 0 && blocked > depth {
-			break
+	stop := false
+	startedAny := false
+	// arm grants the pass's reservation to a blocked GPU job once it has
+	// aged past the guard threshold — whatever its position in the queue,
+	// not just at the head. Everything scanned after it backfills only
+	// around the hold: GPU jobs are skipped, CPU jobs must avoid nodes with
+	// free GPUs.
+	arm := func(sp *workload.JobSpec) {
+		if !reserving && ageSec > 0 && s.now-sp.SubmitSec >= ageSec {
+			reserving = true
 		}
-		sp := &s.specs[idx]
-		if reserving && sp.IsGPU() {
-			// An aged blocked head holds a reservation: freed GPUs
-			// accumulate for it instead of leaking to backfill.
-			continue
-		}
-		alloc, err := s.cluster.TryAllocate(s.request(sp))
-		if err != nil {
-			if _, soft := err.(cluster.ErrInsufficient); soft {
+	}
+	for _, queue := range [2][]int{s.pendMulti, s.pendSingle} {
+		for _, idx := range queue {
+			if depth > 0 && blocked >= depth {
+				stop = true
+			}
+			if stop {
+				break
+			}
+			sp := &s.specs[idx]
+			isGPU := sp.IsGPU()
+			if reserving && isGPU {
+				// An aged blocked GPU job holds a reservation: freed GPUs
+				// accumulate for it instead of leaking to backfill.
+				continue
+			}
+			if s.blockedEpoch[idx] == s.epoch && (!s.blockedRestricted[idx] || reserving) {
+				s.stats.AllocCacheHits++
 				blocked++
-				if s.cfg.Policy.BackfillDepth == 0 {
-					break // strict FIFO: a blocked head blocks the queue
-				}
-				if blocked == 1 && sp.IsGPU() && s.cfg.Policy.ReservationAgeSec > 0 &&
-					s.now-sp.SubmitSec >= s.cfg.Policy.ReservationAgeSec {
-					reserving = true
+				if depth == 0 {
+					stop = true // strict FIFO: a blocked head blocks the queue
+				} else if isGPU {
+					arm(sp)
 				}
 				continue
 			}
-			return err
-		}
-		started[idx] = true
-		s.start(idx, alloc)
-	}
-	if len(started) > 0 {
-		next := s.pending[:0]
-		for _, idx := range s.pending {
-			if !started[idx] {
-				next = append(next, idx)
+			req := s.request(sp)
+			if reserving && !isGPU {
+				// Keep CPU jobs off the nodes whose GPUs are being reserved.
+				req.AvoidGPUNodes = true
 			}
+			s.stats.AllocAttempts++
+			alloc, err := s.cluster.TryAllocate(req)
+			if err != nil {
+				if _, soft := err.(cluster.ErrInsufficient); soft {
+					blocked++
+					s.blockedEpoch[idx] = s.epoch
+					s.blockedRestricted[idx] = req.AvoidGPUNodes
+					if depth == 0 {
+						stop = true
+					} else if isGPU {
+						arm(sp)
+					}
+					continue
+				}
+				return err
+			}
+			s.startedMark[idx] = true
+			startedAny = true
+			s.start(idx, alloc)
 		}
-		s.pending = next
+		if stop {
+			break
+		}
+	}
+	if startedAny {
+		s.pendMulti = s.compactQueue(s.pendMulti)
+		s.pendSingle = s.compactQueue(s.pendSingle)
 	}
 	return nil
+}
+
+// compactQueue removes started jobs from a pending queue in place, clearing
+// their marks and the pending count as it goes.
+func (s *Simulator) compactQueue(q []int) []int {
+	out := q[:0]
+	for _, idx := range q {
+		if s.startedMark[idx] {
+			s.startedMark[idx] = false
+			s.pendingN--
+			continue
+		}
+		out = append(out, idx)
+	}
+	return out
 }
 
 // start begins execution of a granted job: records the result, runs the
@@ -429,6 +525,8 @@ func (s *Simulator) finish(idx int) error {
 	if err := s.cluster.Release(sp.ID); err != nil {
 		return err
 	}
+	// Capacity grew: cached blocked verdicts are stale from here on.
+	s.epoch++
 	if m, ok := s.monitors[sp.ID]; ok {
 		if err := s.pipe.Epilog(m); err != nil {
 			return err

@@ -28,8 +28,13 @@ func csvHeader() []string {
 
 // WriteCSV writes the job table (not the time-series subset) to w. Per-GPU
 // summaries are not representable in a flat table; use WriteJSON to round-
-// trip them.
+// trip them. The dataset is validated first, so both codecs reject exactly
+// the same datasets — without this, the CSV formatter would happily emit the
+// NaN/±Inf values the JSON encoder cannot represent.
 func (d *Dataset) WriteCSV(w io.Writer) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader()); err != nil {
 		return fmt.Errorf("trace: writing csv header: %w", err)
@@ -154,8 +159,13 @@ type jsonDataset struct {
 }
 
 // WriteJSON writes the complete dataset, including per-GPU summaries and
-// time series, to w.
+// time series, to w. Validation mirrors WriteCSV: a dataset one codec
+// accepts, both accept — and a non-finite value fails with a record-level
+// error here rather than an opaque one from the JSON encoder.
 func (d *Dataset) WriteJSON(w io.Writer) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
 	wire := jsonDataset{DurationDays: d.DurationDays, Jobs: d.Jobs}
 	for _, ts := range d.Series {
 		wire.Series = append(wire.Series, ts)

@@ -40,7 +40,7 @@ func (d *Dataset) AttachSeries(ts *TimeSeries) {
 // GPUJobs returns the analysis population: GPU jobs with run time of at
 // least MinGPUJobRunSec (47,120 of the paper's 74,820).
 func (d *Dataset) GPUJobs() []*JobRecord {
-	var out []*JobRecord
+	out := make([]*JobRecord, 0, len(d.Jobs))
 	for i := range d.Jobs {
 		j := &d.Jobs[i]
 		if j.IsGPU() && j.RunSec >= MinGPUJobRunSec {
@@ -52,7 +52,7 @@ func (d *Dataset) GPUJobs() []*JobRecord {
 
 // CPUJobs returns jobs that requested no GPU.
 func (d *Dataset) CPUJobs() []*JobRecord {
-	var out []*JobRecord
+	out := make([]*JobRecord, 0, len(d.Jobs))
 	for i := range d.Jobs {
 		if !d.Jobs[i].IsGPU() {
 			out = append(out, &d.Jobs[i])

@@ -3,7 +3,28 @@ package trace
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/metrics"
 )
+
+// nonFiniteCSVSeed renders a valid dataset to CSV and then smuggles a
+// non-finite literal into a metric-summary column — what a hand-edited or
+// corrupted trace file can contain, and what FormatFloat happily emitted
+// before the writers validated. ParseFloat accepts all of these spellings,
+// so only record validation keeps them out of a dataset.
+func nonFiniteCSVSeed(f *testing.F, bad string) []byte {
+	f.Helper()
+	d := NewDataset(1)
+	j := gpuJob(1, 0, 600, 1)
+	j.PerGPU[0][metrics.SMUtil].Max = 31337 // sentinel to replace
+	j.FinalizeGPUSummary()
+	d.Add(j)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return bytes.Replace(buf.Bytes(), []byte("31337"), []byte(bad), 1)
+}
 
 // FuzzReadCSV: arbitrary bytes must never panic the CSV reader; valid
 // round-trips must reproduce their input record count.
@@ -49,6 +70,12 @@ func FuzzDatasetRoundTrip(f *testing.F) {
 	f.Add(seed.Bytes())
 	f.Add([]byte("job_id,user\n1,2\n"))
 	f.Add([]byte(""))
+	// Non-finite metric summaries: the CSV parser reads these fine, so the
+	// fixed point below only holds if validation rejects them on both the
+	// read and the write path (WriteJSON cannot represent them).
+	for _, bad := range []string{"NaN", "+Inf", "-Inf", "Infinity"} {
+		f.Add(nonFiniteCSVSeed(f, bad))
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ds, err := ReadCSV(bytes.NewReader(data), 1)
 		if err != nil {

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestCodecsRejectNonFiniteIdentically pins the CSV/JSON agreement on
+// non-finite values: a dataset carrying NaN or ±Inf in any float field is
+// rejected by BOTH writers with the same record-level error, and a CSV file
+// carrying such a value is rejected on read. Before this, WriteCSV emitted
+// the value (FormatFloat renders NaN/±Inf, ParseFloat reads them back) while
+// WriteJSON failed — the same dataset round-tripped through one codec and
+// not the other.
+func TestCodecsRejectNonFiniteIdentically(t *testing.T) {
+	mutations := map[string]func(*JobRecord){
+		"nan-summary-mean": func(j *JobRecord) { j.GPU[metrics.SMUtil].Mean = math.NaN() },
+		"inf-summary-max":  func(j *JobRecord) { j.GPU[metrics.Power].Max = math.Inf(1) },
+		"neginf-per-gpu":   func(j *JobRecord) { j.PerGPU[0][metrics.MemUtil].Min = math.Inf(-1) },
+		"nan-submit":       func(j *JobRecord) { j.SubmitSec = math.NaN() },
+		"inf-limit":        func(j *JobRecord) { j.LimitSec = math.Inf(1) },
+		"nan-hostcpu":      func(j *JobRecord) { j.HostCPU.Mean = math.NaN() },
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			d := NewDataset(1)
+			j := gpuJob(1, 0, 600, 1)
+			mutate(&j)
+			d.Add(j)
+			var csvBuf, jsonBuf bytes.Buffer
+			csvErr := d.WriteCSV(&csvBuf)
+			jsonErr := d.WriteJSON(&jsonBuf)
+			if csvErr == nil || jsonErr == nil {
+				t.Fatalf("non-finite dataset accepted: csv err=%v, json err=%v", csvErr, jsonErr)
+			}
+			if csvErr.Error() != jsonErr.Error() {
+				t.Fatalf("codecs diverge on rejection:\ncsv:  %v\njson: %v", csvErr, jsonErr)
+			}
+		})
+	}
+}
+
+// TestReadCSVRejectsNonFiniteLiterals ensures every spelling ParseFloat
+// accepts for non-finite values is refused by the reader.
+func TestReadCSVRejectsNonFiniteLiterals(t *testing.T) {
+	d := NewDataset(1)
+	j := gpuJob(1, 0, 600, 1)
+	j.PerGPU[0][metrics.SMUtil].Max = 31337 // sentinel to replace
+	j.FinalizeGPUSummary()
+	d.Add(j)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"NaN", "nan", "+Inf", "-Inf", "Inf", "Infinity"} {
+		corrupted := bytes.Replace(buf.Bytes(), []byte("31337"), []byte(bad), 1)
+		if _, err := ReadCSV(bytes.NewReader(corrupted), 1); err == nil {
+			t.Fatalf("CSV with %q in a summary column was accepted", bad)
+		}
+	}
+}

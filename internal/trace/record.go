@@ -6,6 +6,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/metrics"
@@ -171,7 +172,11 @@ func (j *JobRecord) FinalizeGPUSummary() {
 	j.GPU = metrics.Averaged(j.PerGPU)
 }
 
-// Validate reports structural problems with the record.
+// Validate reports structural problems with the record. Non-finite values
+// (NaN, ±Inf) are rejected in every float field: JSON cannot encode them, so
+// permitting them on the CSV path would make the two codecs diverge on the
+// same dataset. Note that NaN slips through the negative checks below (every
+// comparison with NaN is false), so finiteness must be tested explicitly.
 func (j *JobRecord) Validate() error {
 	switch {
 	case j.JobID < 0:
@@ -185,8 +190,39 @@ func (j *JobRecord) Validate() error {
 	case j.NumGPUs > 0 && len(j.PerGPU) > 0 && len(j.PerGPU) != j.NumGPUs:
 		return fmt.Errorf("trace: job %d: %d GPU summaries for %d GPUs", j.JobID, len(j.PerGPU), j.NumGPUs)
 	}
+	if !finite(j.SubmitSec, j.WaitSec, j.RunSec, j.LimitSec, j.MemGB) {
+		return fmt.Errorf("trace: job %d: non-finite scheduler field", j.JobID)
+	}
+	if !summaryFinite(j.HostCPU) {
+		return fmt.Errorf("trace: job %d: non-finite host-CPU summary", j.JobID)
+	}
+	for m := range j.GPU {
+		if !summaryFinite(j.GPU[m]) {
+			return fmt.Errorf("trace: job %d: non-finite GPU summary for %s", j.JobID, metrics.Metric(m))
+		}
+	}
+	for g, ms := range j.PerGPU {
+		for m := range ms {
+			if !summaryFinite(ms[m]) {
+				return fmt.Errorf("trace: job %d: non-finite summary for GPU %d, %s", j.JobID, g, metrics.Metric(m))
+			}
+		}
+	}
 	return nil
 }
+
+// finite reports whether every value is a finite float.
+func finite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// summaryFinite reports whether a min/mean/max digest is fully finite.
+func summaryFinite(s metrics.SummaryRecord) bool { return finite(s.Min, s.Mean, s.Max) }
 
 // TimeSeries is the detailed 100 ms-class log of one job: one sample stream
 // per allocated GPU. The paper collected this for a 2,149-job subset.
