@@ -1,13 +1,14 @@
 # Build and verification entry points. `make check` is the tier-1 gate
 # (ROADMAP.md): vet, build, a targeted race pass over the scheduler hot
-# path (cluster/slurm/engine — the packages PR 2 rewired), then the full
-# test suite under the race detector.
+# path (cluster/slurm/engine — the packages PR 2 rewired), the parallel
+# Characterize equivalence pass (PR 3), then the full test suite under the
+# race detector.
 
 GO ?= go
 
-.PHONY: check build vet test short race race-sched fuzz bench bench-figures golden clean
+.PHONY: check build vet test short race race-sched race-analyze fuzz bench bench-pr3 bench-figures golden clean
 
-check: vet build race-sched race
+check: vet build race-sched race-analyze race
 
 build:
 	$(GO) build ./...
@@ -30,6 +31,13 @@ race:
 race-sched:
 	$(GO) test -race ./internal/cluster ./internal/slurm ./internal/engine
 
+# Analysis-focused race pass: the columnar index's lazy sorted views and the
+# parallel Characterize fan-out, checked for sequential-vs-parallel
+# equivalence at worker counts 1, 2 and 8 under the race detector.
+race-analyze:
+	$(GO) test -race -run 'TestColumnar|TestParallelWorker|TestRunTasks' ./internal/core
+	$(GO) test -race ./internal/trace -run TestColumns
+
 # Short fuzz session over every trace codec target.
 fuzz:
 	$(GO) test ./internal/trace -fuzz FuzzReadCSV -fuzztime 30s
@@ -44,6 +52,15 @@ bench:
 		-benchtime 1x -timeout 2h . | tee bench/last_run.txt
 	$(GO) run ./cmd/benchjson -label post-index \
 		-baseline bench/baseline_pr2.json < bench/last_run.txt > BENCH_PR2.json
+
+# Columnar-engine benchmarks (PR 3): Characterize at 10k/100k jobs plus the
+# PR 2 trio, joined against the committed pre-columnar baseline into
+# BENCH_PR3.json (see bench/README.md).
+bench-pr3:
+	$(GO) test -run '^$$' -bench '^Benchmark(Characterize|Schedule|Simulate|Replicate)$$' \
+		-benchtime 1x -timeout 2h . | tee bench/last_run_pr3.txt
+	$(GO) run ./cmd/benchjson -label post-columnar \
+		-baseline bench/baseline_pr3.json < bench/last_run_pr3.txt > BENCH_PR3.json
 
 # Figure/experiment benchmarks: regenerate every paper table and figure
 # metric (the pre-PR2 `make bench`).

@@ -19,21 +19,14 @@ type HostCPUResult struct {
 }
 
 // HostCPU computes the host-CPU utilization comparison.
-func HostCPU(ds *trace.Dataset) HostCPUResult {
-	var gpuVals, cpuVals []float64
-	for i := range ds.Jobs {
-		j := &ds.Jobs[i]
-		if j.IsGPU() {
-			if j.RunSec >= trace.MinGPUJobRunSec {
-				gpuVals = append(gpuVals, j.HostCPU.Mean)
-			}
-		} else {
-			cpuVals = append(cpuVals, j.HostCPU.Mean)
-		}
-	}
+func HostCPU(ds *trace.Dataset) HostCPUResult { return HostCPUCols(ds.Columns()) }
+
+// HostCPUCols computes the comparison from the host-CPU columns; the GPU
+// column's cached sort serves both the CDF and the under-50 % fraction.
+func HostCPUCols(c *trace.Columns) HostCPUResult {
 	return HostCPUResult{
-		GPUJobs:            NewCDFStat(gpuVals, curvePoints),
-		CPUJobs:            NewCDFStat(cpuVals, curvePoints),
-		GPUJobsUnder50Frac: stats.FractionBelow(gpuVals, 50),
+		GPUJobs:            colCDF(c.HostCPU),
+		CPUJobs:            colCDF(c.CPUHostCPU),
+		GPUJobsUnder50Frac: stats.FractionBelowSorted(c.HostCPU.Sorted(), 50),
 	}
 }

@@ -24,18 +24,21 @@ type LifecycleResult struct {
 }
 
 // Lifecycle computes Figs. 15–16 by classifying every GPU job.
-func Lifecycle(ds *trace.Dataset) LifecycleResult {
-	jobs := ds.GPUJobs()
+func Lifecycle(ds *trace.Dataset) LifecycleResult { return LifecycleCols(ds.Columns()) }
+
+// LifecycleCols computes Figs. 15–16 over the columnar GPU population.
+func LifecycleCols(c *trace.Columns) LifecycleResult {
+	jobs := c.GPU
 	b := lifecycle.Account(jobs)
 	groups := lifecycle.GroupByCategory(jobs)
 	var r LifecycleResult
 	r.Total = b.Total
-	for c := trace.Category(0); c < trace.NumCategories; c++ {
-		r.JobShare[c] = b.JobShare(c)
-		r.HourShare[c] = b.HourShare(c)
-		r.MedianRunMin[c] = stats.Median(trace.RunMinutes(groups[c]))
+	for cat := trace.Category(0); cat < trace.NumCategories; cat++ {
+		r.JobShare[cat] = b.JobShare(cat)
+		r.HourShare[cat] = b.HourShare(cat)
+		r.MedianRunMin[cat] = stats.Median(trace.RunMinutes(groups[cat]))
 		for mi, m := range multiGPUMetrics {
-			r.Boxes[c][mi] = stats.Box(trace.MeanValues(groups[c], m))
+			r.Boxes[cat][mi] = stats.Box(trace.MeanValues(groups[cat], m))
 		}
 	}
 	return r
@@ -67,28 +70,38 @@ type UserMixResult struct {
 }
 
 // UserMix computes Fig. 17.
-func UserMix(ds *trace.Dataset) UserMixResult {
-	byUser := ds.ByUser()
-	rows := make([]UserMixRow, 0, len(byUser))
-	for u, jobs := range byUser {
-		row := UserMixRow{User: u, Jobs: len(jobs)}
+func UserMix(ds *trace.Dataset) UserMixResult { return UserMixCols(ds.Columns()) }
+
+// UserMixCols computes Fig. 17 from the per-user row index.
+func UserMixCols(c *trace.Columns) UserMixResult {
+	hourVals := c.GPUHours.Values()
+	rows := make([]UserMixRow, 0, len(c.Users))
+	for _, u := range c.Users {
+		idx := c.ByUser[u]
+		row := UserMixRow{User: u, Jobs: len(idx)}
 		var hours [trace.NumCategories]float64
 		var counts [trace.NumCategories]float64
-		for _, j := range jobs {
-			c := lifecycle.Classify(j)
-			counts[c]++
-			h := j.GPUHours()
-			hours[c] += h
+		for _, k := range idx {
+			cat := lifecycle.Classify(c.GPU[k])
+			counts[cat]++
+			h := hourVals[k]
+			hours[cat] += h
 			row.GPUHours += h
 		}
-		for c := trace.Category(0); c < trace.NumCategories; c++ {
-			row.JobFrac[c] = counts[c] / float64(row.Jobs)
+		for cat := trace.Category(0); cat < trace.NumCategories; cat++ {
+			row.JobFrac[cat] = counts[cat] / float64(row.Jobs)
 			if row.GPUHours > 0 {
-				row.HourFrac[c] = hours[c] / row.GPUHours
+				row.HourFrac[cat] = hours[cat] / row.GPUHours
 			}
 		}
 		rows = append(rows, row)
 	}
+	return finishUserMix(rows)
+}
+
+// finishUserMix sorts the per-user rows into the two Fig. 17 orderings and
+// derives the aggregate fractions; shared by the naive and columnar paths.
+func finishUserMix(rows []UserMixRow) UserMixResult {
 	var r UserMixResult
 	r.ByJobs = append([]UserMixRow(nil), rows...)
 	sort.Slice(r.ByJobs, func(a, b int) bool {

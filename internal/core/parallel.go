@@ -1,0 +1,87 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// CharacterizeCols runs the complete suite over a pre-built column index,
+// fanning the figures across workers goroutines (0 means GOMAXPROCS, 1 is
+// fully serial). Each task writes a disjoint set of Report fields and shared
+// inputs are either immutable columns or computed once behind sync.Once, so
+// the assembled Report is bit-identical for every worker count.
+func CharacterizeCols(c *trace.Columns, workers int) *Report {
+	rep := &Report{}
+	users := sync.OnceValue(func() []UserStats { return AggregateUsersCols(c) })
+	tasks := []func(){
+		func() { rep.Runtimes = RuntimesCols(c) },
+		func() { rep.Waits = WaitsCols(c) },
+		func() { rep.Utilization = UtilizationCols(c) },
+		func() { rep.PCIe = PCIeCols(c) },
+		func() { rep.ByInterface = ByInterfaceCols(c) },
+		func() { rep.Phases, rep.ActiveCoV = phasesAndActivity(c) },
+		func() { rep.Bottlenecks = BottlenecksCols(c) },
+		func() { rep.Power = PowerCols(c) },
+		func() { rep.UserAverages = UserAverages(users()) },
+		func() { rep.UserCoV = UserVariability(users()) },
+		func() { rep.UserTrends = UserTrends(users()) },
+		func() { rep.GPUCounts = GPUCountsCols(c) },
+		func() { rep.MultiGPU = MultiGPUCols(c) },
+		func() { rep.Lifecycle = LifecycleCols(c) },
+		func() { rep.UserMix = UserMixCols(c) },
+		func() { rep.Concentration = ConcentrationCols(c) },
+		func() { rep.HostCPUUse = HostCPUCols(c) },
+	}
+	runTasks(workers, tasks)
+	return rep
+}
+
+// runTasks executes tasks over a bounded pool of workers goroutines. A panic
+// inside a task does not wedge the pool: every task still runs to a verdict,
+// and the lowest-indexed panic is re-raised on the caller once the pool has
+// drained, keeping failure behavior deterministic.
+func runTasks(workers int, tasks []func()) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	panics := make([]any, len(tasks))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							panics[i] = p
+						}
+					}()
+					tasks[i]()
+				}()
+			}
+		}()
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"math"
+	"sort"
+
 	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -29,17 +32,7 @@ func SegmentSeries(ts *trace.TimeSeries) []Interval {
 	n := len(ts.PerGPU[0])
 	var out []Interval
 	for k := 0; k < n; k++ {
-		active := false
-		for _, stream := range ts.PerGPU {
-			if k >= len(stream) {
-				continue
-			}
-			v := stream[k].Values
-			if v[metrics.SMUtil] > activeSampleThresholdPct || v[metrics.MemUtil] > activeSampleThresholdPct {
-				active = true
-				break
-			}
-		}
+		active := sampleActive(ts, k)
 		t := float64(k) * ts.IntervalSec
 		if len(out) > 0 && out[len(out)-1].Active == active {
 			out[len(out)-1].DurSec += ts.IntervalSec
@@ -48,6 +41,46 @@ func SegmentSeries(ts *trace.TimeSeries) []Interval {
 		out = append(out, Interval{Active: active, StartSec: t, DurSec: ts.IntervalSec})
 	}
 	return out
+}
+
+// sampleActive reports whether sample k of any GPU stream shows activity.
+func sampleActive(ts *trace.TimeSeries, k int) bool {
+	for _, stream := range ts.PerGPU {
+		if k >= len(stream) {
+			continue
+		}
+		v := stream[k].Values
+		if v[metrics.SMUtil] > activeSampleThresholdPct || v[metrics.MemUtil] > activeSampleThresholdPct {
+			return true
+		}
+	}
+	return false
+}
+
+// welford is a streaming mean/variance accumulator replicating
+// stats.MeanVariance update for update, so a fused scan produces the same
+// bits as collecting values into a slice and calling stats.CoV.
+type welford struct {
+	n  int
+	m  float64
+	m2 float64
+}
+
+func (w *welford) add(x float64) {
+	delta := x - w.m
+	w.n++
+	w.m += delta / float64(w.n)
+	w.m2 += delta * (x - w.m)
+}
+
+// covPct finishes the accumulator exactly as stats.CoV does for n >= 2:
+// population variance, NaN on zero mean, stddev/|mean|×100 otherwise.
+func (w *welford) covPct() float64 {
+	v := w.m2 / float64(w.n)
+	if w.m == 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(v) / math.Abs(w.m) * 100
 }
 
 // PhaseResult is Fig. 6: the distribution of active-time fractions (6a) and
@@ -59,43 +92,80 @@ type PhaseResult struct {
 	JobsAnalyzed  int
 }
 
-// Phases computes Fig. 6 over the dataset's time-series subset.
-func Phases(ds *trace.Dataset) PhaseResult {
-	var activePct, idleCoVs, actCoVs []float64
-	for _, ts := range ds.Series {
-		iv := SegmentSeries(ts)
-		if len(iv) == 0 {
+// phaseAgg accumulates Fig. 6 across series without materializing intervals:
+// segmentation state is carried inline and each closed segment feeds the
+// duration totals and the per-kind length accumulators in segment order,
+// reproducing the SegmentSeries walk bit for bit.
+type phaseAgg struct {
+	activePct []float64
+	idleCoVs  []float64
+	actCoVs   []float64
+}
+
+func (a *phaseAgg) addSeries(ts *trace.TimeSeries) {
+	if ts == nil || len(ts.PerGPU) == 0 || len(ts.PerGPU[0]) == 0 {
+		return
+	}
+	n := len(ts.PerGPU[0])
+	var totalDur, activeDur float64
+	var idleW, actW welford
+	curActive := false
+	curDur := 0.0
+	flush := func() {
+		totalDur += curDur
+		if curActive {
+			activeDur += curDur
+			actW.add(curDur)
+		} else {
+			idleW.add(curDur)
+		}
+	}
+	for k := 0; k < n; k++ {
+		active := sampleActive(ts, k)
+		if k > 0 && curActive == active {
+			curDur += ts.IntervalSec
 			continue
 		}
-		var activeDur, totalDur float64
-		var idleLens, actLens []float64
-		for _, seg := range iv {
-			totalDur += seg.DurSec
-			if seg.Active {
-				activeDur += seg.DurSec
-				actLens = append(actLens, seg.DurSec)
-			} else {
-				idleLens = append(idleLens, seg.DurSec)
-			}
+		if k > 0 {
+			flush()
 		}
-		activePct = append(activePct, activeDur/totalDur*100)
-		if len(idleLens) >= 2 {
-			if c := stats.CoV(idleLens); !isNaN(c) {
-				idleCoVs = append(idleCoVs, c)
-			}
-		}
-		if len(actLens) >= 2 {
-			if c := stats.CoV(actLens); !isNaN(c) {
-				actCoVs = append(actCoVs, c)
-			}
+		curActive = active
+		curDur = ts.IntervalSec
+	}
+	flush()
+	a.activePct = append(a.activePct, activeDur/totalDur*100)
+	if idleW.n >= 2 {
+		if c := idleW.covPct(); !isNaN(c) {
+			a.idleCoVs = append(a.idleCoVs, c)
 		}
 	}
+	if actW.n >= 2 {
+		if c := actW.covPct(); !isNaN(c) {
+			a.actCoVs = append(a.actCoVs, c)
+		}
+	}
+}
+
+func (a *phaseAgg) result() PhaseResult {
 	return PhaseResult{
-		ActiveTimePct: NewCDFStat(activePct, curvePoints),
-		IdleCoV:       NewCDFStat(idleCoVs, curvePoints),
-		ActiveCoVLen:  NewCDFStat(actCoVs, curvePoints),
-		JobsAnalyzed:  len(activePct),
+		ActiveTimePct: ownedCDF(a.activePct),
+		IdleCoV:       ownedCDF(a.idleCoVs),
+		ActiveCoVLen:  ownedCDF(a.actCoVs),
+		JobsAnalyzed:  len(a.activePct),
 	}
+}
+
+// Phases computes Fig. 6 over the dataset's time-series subset.
+func Phases(ds *trace.Dataset) PhaseResult { return PhasesCols(ds.Columns()) }
+
+// PhasesCols computes Fig. 6 by streaming each series through the fused
+// segmentation accumulator, in sorted-series order.
+func PhasesCols(c *trace.Columns) PhaseResult {
+	var a phaseAgg
+	for _, id := range c.SeriesIDs {
+		a.addSeries(c.Series(id))
+	}
+	return a.result()
 }
 
 // ActiveVariabilityResult is Fig. 7a: the CoV of each utilization metric
@@ -107,40 +177,76 @@ type ActiveVariabilityResult struct {
 	Over23Frac float64
 }
 
-// ActiveVariability computes Fig. 7a over the time-series subset.
-func ActiveVariability(ds *trace.Dataset) ActiveVariabilityResult {
-	var smC, memC, mszC []float64
-	for _, ts := range ds.Series {
-		var sm, mem, msz []float64
-		for _, stream := range ts.PerGPU {
-			for _, s := range stream {
-				if s.Values[metrics.SMUtil] > activeSampleThresholdPct ||
-					s.Values[metrics.MemUtil] > activeSampleThresholdPct {
-					sm = append(sm, s.Values[metrics.SMUtil])
-					mem = append(mem, s.Values[metrics.MemUtil])
-					msz = append(msz, s.Values[metrics.MemSize])
-				}
+// activeAgg accumulates Fig. 7a: per series, one Welford accumulator per
+// metric over the active samples (stream-major, the order the row-walking
+// implementation collected them in) instead of three slices re-read by CoV.
+type activeAgg struct {
+	smC, memC, mszC []float64
+}
+
+func (a *activeAgg) addSeries(ts *trace.TimeSeries) {
+	var smW, memW, mszW welford
+	for _, stream := range ts.PerGPU {
+		for i := range stream {
+			v := &stream[i].Values
+			if v[metrics.SMUtil] > activeSampleThresholdPct ||
+				v[metrics.MemUtil] > activeSampleThresholdPct {
+				smW.add(v[metrics.SMUtil])
+				memW.add(v[metrics.MemUtil])
+				mszW.add(v[metrics.MemSize])
 			}
 		}
-		if len(sm) < 2 {
-			continue
-		}
-		if c := stats.CoV(sm); !isNaN(c) {
-			smC = append(smC, c)
-		}
-		if c := stats.CoV(mem); !isNaN(c) {
-			memC = append(memC, c)
-		}
-		if c := stats.CoV(msz); !isNaN(c) {
-			mszC = append(mszC, c)
-		}
 	}
+	if smW.n < 2 {
+		return
+	}
+	if c := smW.covPct(); !isNaN(c) {
+		a.smC = append(a.smC, c)
+	}
+	if c := memW.covPct(); !isNaN(c) {
+		a.memC = append(a.memC, c)
+	}
+	if c := mszW.covPct(); !isNaN(c) {
+		a.mszC = append(a.mszC, c)
+	}
+}
+
+func (a *activeAgg) result() ActiveVariabilityResult {
+	sort.Float64s(a.smC)
 	return ActiveVariabilityResult{
-		SMCoV:      NewCDFStat(smC, curvePoints),
-		MemCoV:     NewCDFStat(memC, curvePoints),
-		MemSizeCoV: NewCDFStat(mszC, curvePoints),
-		Over23Frac: stats.FractionAbove(smC, 23),
+		SMCoV:      cdfFromECDF(stats.NewECDFSorted(a.smC)),
+		MemCoV:     ownedCDF(a.memC),
+		MemSizeCoV: ownedCDF(a.mszC),
+		Over23Frac: stats.FractionAboveSorted(a.smC, 23),
 	}
+}
+
+// ActiveVariability computes Fig. 7a over the time-series subset.
+func ActiveVariability(ds *trace.Dataset) ActiveVariabilityResult {
+	return ActiveVariabilityCols(ds.Columns())
+}
+
+// ActiveVariabilityCols computes Fig. 7a in sorted-series order.
+func ActiveVariabilityCols(c *trace.Columns) ActiveVariabilityResult {
+	var a activeAgg
+	for _, id := range c.SeriesIDs {
+		a.addSeries(c.Series(id))
+	}
+	return a.result()
+}
+
+// phasesAndActivity computes Figs. 6 and 7a in a single pass over the
+// detailed-monitoring subset: both analyses visit every sample of every
+// series, so Characterize runs them as one task touching each series once.
+func phasesAndActivity(c *trace.Columns) (PhaseResult, ActiveVariabilityResult) {
+	var pa phaseAgg
+	var aa activeAgg
+	for _, id := range c.SeriesIDs {
+		ts := c.Series(id)
+		pa.addSeries(ts)
+		aa.addSeries(ts)
+	}
+	return pa.result(), aa.result()
 }
 
 // bottleneckThresholdPct: a job is bottlenecked on a metric when its
@@ -165,8 +271,11 @@ type BottleneckResult struct {
 }
 
 // Bottlenecks computes Figs. 7b/8.
-func Bottlenecks(ds *trace.Dataset) BottleneckResult {
-	jobs := ds.GPUJobs()
+func Bottlenecks(ds *trace.Dataset) BottleneckResult { return BottlenecksCols(ds.Columns()) }
+
+// BottlenecksCols computes Figs. 7b/8 over the columnar GPU population.
+func BottlenecksCols(c *trace.Columns) BottleneckResult {
+	jobs := c.GPU
 	r := BottleneckResult{
 		SingleFrac: map[metrics.Metric]float64{},
 		PairFrac:   map[[2]metrics.Metric]float64{},
@@ -187,14 +296,13 @@ func Bottlenecks(ds *trace.Dataset) BottleneckResult {
 		return j.GPU[m].Max >= bottleneckThresholdPct
 	}
 	var anyTwo float64
+	hits := make([]metrics.Metric, 0, len(metrics.BottleneckMetrics))
 	for _, j := range jobs {
-		count := 0
-		var hits []metrics.Metric
+		hits = hits[:0]
 		for _, m := range metrics.BottleneckMetrics {
 			if hit(j, m) {
 				r.SingleFrac[m]++
 				hits = append(hits, m)
-				count++
 			}
 		}
 		for a := 0; a < len(hits); a++ {
@@ -206,7 +314,7 @@ func Bottlenecks(ds *trace.Dataset) BottleneckResult {
 				r.PairFrac[key]++
 			}
 		}
-		if count >= 2 {
+		if len(hits) >= 2 {
 			anyTwo++
 		}
 	}

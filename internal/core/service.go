@@ -12,10 +12,13 @@ type RuntimeResult struct {
 }
 
 // Runtimes computes Fig. 3a.
-func Runtimes(ds *trace.Dataset) RuntimeResult {
+func Runtimes(ds *trace.Dataset) RuntimeResult { return RuntimesCols(ds.Columns()) }
+
+// RuntimesCols computes Fig. 3a from the shared columnar index.
+func RuntimesCols(c *trace.Columns) RuntimeResult {
 	return RuntimeResult{
-		GPU: NewCDFStat(trace.RunMinutes(ds.GPUJobs()), curvePoints),
-		CPU: NewCDFStat(trace.RunMinutes(ds.CPUJobs()), curvePoints),
+		GPU: colCDF(c.RunMin),
+		CPU: colCDF(c.CPURunMin),
 	}
 }
 
@@ -35,18 +38,7 @@ type WaitResult struct {
 }
 
 // SizeClass maps a GPU count onto §V's four size classes.
-func SizeClass(numGPUs int) int {
-	switch {
-	case numGPUs <= 1:
-		return 0
-	case numGPUs == 2:
-		return 1
-	case numGPUs <= 8:
-		return 2
-	default:
-		return 3
-	}
-}
+func SizeClass(numGPUs int) int { return trace.SizeClass(numGPUs) }
 
 // SizeClassLabel names a §V size class.
 func SizeClassLabel(class int) string {
@@ -54,43 +46,24 @@ func SizeClassLabel(class int) string {
 }
 
 // Waits computes Fig. 3b and the §V wait-by-size medians.
-func Waits(ds *trace.Dataset) WaitResult {
-	gpuJobs, cpuJobs := ds.GPUJobs(), ds.CPUJobs()
-	var r WaitResult
+func Waits(ds *trace.Dataset) WaitResult { return WaitsCols(ds.Columns()) }
 
-	gpuPct := make([]float64, len(gpuJobs))
-	var bySize [4][]float64
-	var gpuUnderMin, gpuUnder2 float64
-	for i, j := range gpuJobs {
-		gpuPct[i] = j.WaitFraction()
-		if j.WaitSec < 60 {
-			gpuUnderMin++
-		}
-		if j.WaitFraction() < 2 {
-			gpuUnder2++
-		}
-		c := SizeClass(j.NumGPUs)
-		bySize[c] = append(bySize[c], j.WaitSec)
+// WaitsCols computes Fig. 3b from the shared wait columns: the threshold
+// fractions become binary searches over the cached sorted views (counts, and
+// hence the divisions, match the row scan exactly).
+func WaitsCols(c *trace.Columns) WaitResult {
+	var r WaitResult
+	r.GPUWaitPct = colCDF(c.WaitPct)
+	r.CPUWaitPct = colCDF(c.CPUWaitPct)
+	if c.WaitSec.N() > 0 {
+		r.GPUWaitUnder1MinFrac = stats.FractionBelowSorted(c.WaitSec.Sorted(), 60)
+		r.GPUWaitPctUnder2Frac = stats.FractionBelowSorted(c.WaitPct.Sorted(), 2)
 	}
-	cpuPct := make([]float64, len(cpuJobs))
-	var cpuOverMin float64
-	for i, j := range cpuJobs {
-		cpuPct[i] = j.WaitFraction()
-		if j.WaitSec > 60 {
-			cpuOverMin++
-		}
+	if c.CPUWaitSec.N() > 0 {
+		r.CPUWaitOver1MinFrac = stats.FractionAboveSorted(c.CPUWaitSec.Sorted(), 60)
 	}
-	r.GPUWaitPct = NewCDFStat(gpuPct, curvePoints)
-	r.CPUWaitPct = NewCDFStat(cpuPct, curvePoints)
-	if n := float64(len(gpuJobs)); n > 0 {
-		r.GPUWaitUnder1MinFrac = gpuUnderMin / n
-		r.GPUWaitPctUnder2Frac = gpuUnder2 / n
-	}
-	if n := float64(len(cpuJobs)); n > 0 {
-		r.CPUWaitOver1MinFrac = cpuOverMin / n
-	}
-	for c := range bySize {
-		r.MedianWaitBySize[c] = stats.Median(bySize[c])
+	for s := range c.WaitBySize {
+		r.MedianWaitBySize[s] = stats.QuantileSorted(c.WaitBySize[s].Sorted(), 0.5)
 	}
 	return r
 }

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -24,24 +22,29 @@ type UserStats struct {
 
 // AggregateUsers computes per-user statistics over the GPU-job population,
 // sorted by user index.
-func AggregateUsers(ds *trace.Dataset) []UserStats {
-	byUser := ds.ByUser()
-	users := make([]int, 0, len(byUser))
-	for u := range byUser {
-		users = append(users, u)
-	}
-	sort.Ints(users)
-	out := make([]UserStats, 0, len(users))
-	for _, u := range users {
-		jobs := byUser[u]
-		st := UserStats{User: u, Jobs: len(jobs)}
-		var runs, sm, mem, msz []float64
-		for _, j := range jobs {
-			st.GPUHours += j.GPUHours()
-			runs = append(runs, j.RunSec/60)
-			sm = append(sm, j.GPU[metrics.SMUtil].Mean)
-			mem = append(mem, j.GPU[metrics.MemUtil].Mean)
-			msz = append(msz, j.GPU[metrics.MemSize].Mean)
+func AggregateUsers(ds *trace.Dataset) []UserStats { return AggregateUsersCols(ds.Columns()) }
+
+// AggregateUsersCols computes per-user statistics by gathering the run-time
+// and utilization columns through the per-user row index, reusing scratch
+// vectors across users.
+func AggregateUsersCols(c *trace.Columns) []UserStats {
+	out := make([]UserStats, 0, len(c.Users))
+	hourVals := c.GPUHours.Values()
+	runVals := c.RunMin.Values()
+	smVals := c.Mean[metrics.SMUtil].Values()
+	memVals := c.Mean[metrics.MemUtil].Values()
+	mszVals := c.Mean[metrics.MemSize].Values()
+	var runs, sm, mem, msz []float64
+	for _, u := range c.Users {
+		idx := c.ByUser[u]
+		st := UserStats{User: u, Jobs: len(idx)}
+		runs, sm, mem, msz = runs[:0], sm[:0], mem[:0], msz[:0]
+		for _, k := range idx {
+			st.GPUHours += hourVals[k]
+			runs = append(runs, runVals[k])
+			sm = append(sm, smVals[k])
+			mem = append(mem, memVals[k])
+			msz = append(msz, mszVals[k])
 		}
 		st.AvgRunMin = stats.Mean(runs)
 		st.RunCoVPct = stats.CoV(runs)
@@ -191,16 +194,31 @@ type ConcentrationResult struct {
 }
 
 // Concentration computes the §IV/§V user-population statistics.
-func Concentration(ds *trace.Dataset) ConcentrationResult {
-	byUser := ds.ByUser()
-	var counts []float64
-	maxGPUs := map[int]int{}
-	for u, jobs := range byUser {
-		counts = append(counts, float64(len(jobs)))
-		for _, j := range jobs {
-			if j.NumGPUs > maxGPUs[u] {
-				maxGPUs[u] = j.NumGPUs
+func Concentration(ds *trace.Dataset) ConcentrationResult { return ConcentrationCols(ds.Columns()) }
+
+// ConcentrationCols computes the §IV/§V statistics from the per-user row
+// index; every output is either sorted internally or an order-independent
+// count, so iterating users in ascending order changes nothing.
+func ConcentrationCols(c *trace.Columns) ConcentrationResult {
+	counts := make([]float64, 0, len(c.Users))
+	var m2, m3, m9 float64
+	for _, u := range c.Users {
+		idx := c.ByUser[u]
+		counts = append(counts, float64(len(idx)))
+		maxGPUs := 0
+		for _, k := range idx {
+			if g := c.NumGPUs[k]; g > maxGPUs {
+				maxGPUs = g
 			}
+		}
+		if maxGPUs >= 2 {
+			m2++
+		}
+		if maxGPUs >= 3 {
+			m3++
+		}
+		if maxGPUs >= 9 {
+			m9++
 		}
 	}
 	conc := stats.NewConcentration(counts)
@@ -214,18 +232,6 @@ func Concentration(ds *trace.Dataset) ConcentrationResult {
 	}
 	if len(counts) == 0 {
 		return r
-	}
-	var m2, m3, m9 float64
-	for _, m := range maxGPUs {
-		if m >= 2 {
-			m2++
-		}
-		if m >= 3 {
-			m3++
-		}
-		if m >= 9 {
-			m9++
-		}
 	}
 	n := float64(len(counts))
 	r.UsersWithMultiFrac = m2 / n

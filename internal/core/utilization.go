@@ -19,19 +19,22 @@ type UtilizationResult struct {
 }
 
 // Utilization computes Fig. 4a over the GPU-job population.
-func Utilization(ds *trace.Dataset) UtilizationResult {
-	jobs := ds.GPUJobs()
-	sm := trace.MeanValues(jobs, metrics.SMUtil)
-	mem := trace.MeanValues(jobs, metrics.MemUtil)
-	msz := trace.MeanValues(jobs, metrics.MemSize)
+func Utilization(ds *trace.Dataset) UtilizationResult { return UtilizationCols(ds.Columns()) }
+
+// UtilizationCols computes Fig. 4a from the shared mean-utilization columns:
+// one cached sort per metric serves the CDF and all threshold fractions.
+func UtilizationCols(c *trace.Columns) UtilizationResult {
+	sm := c.Mean[metrics.SMUtil].Sorted()
+	mem := c.Mean[metrics.MemUtil].Sorted()
+	msz := c.Mean[metrics.MemSize].Sorted()
 	return UtilizationResult{
-		SM:             NewCDFStat(sm, curvePoints),
-		Mem:            NewCDFStat(mem, curvePoints),
-		MemSize:        NewCDFStat(msz, curvePoints),
-		SMOver50:       stats.FractionAbove(sm, 50),
-		MemOver50:      stats.FractionAbove(mem, 50),
-		SizeOver50:     stats.FractionAbove(msz, 50),
-		NearZeroSMFrac: stats.FractionBelow(sm, 5),
+		SM:             cdfFromECDF(stats.NewECDFSorted(sm)),
+		Mem:            cdfFromECDF(stats.NewECDFSorted(mem)),
+		MemSize:        cdfFromECDF(stats.NewECDFSorted(msz)),
+		SMOver50:       stats.FractionAboveSorted(sm, 50),
+		MemOver50:      stats.FractionAboveSorted(mem, 50),
+		SizeOver50:     stats.FractionAboveSorted(msz, 50),
+		NearZeroSMFrac: stats.FractionBelowSorted(sm, 5),
 	}
 }
 
@@ -44,14 +47,16 @@ type PCIeResult struct {
 }
 
 // PCIe computes Fig. 4b.
-func PCIe(ds *trace.Dataset) PCIeResult {
-	jobs := ds.GPUJobs()
-	tx := trace.MeanValues(jobs, metrics.PCIeTx)
-	rx := trace.MeanValues(jobs, metrics.PCIeRx)
-	txE, rxE := stats.NewECDF(tx), stats.NewECDF(rx)
+func PCIe(ds *trace.Dataset) PCIeResult { return PCIeCols(ds.Columns()) }
+
+// PCIeCols computes Fig. 4b from the shared PCIe columns: one ECDF per
+// direction serves both the curve digest and the KS distance.
+func PCIeCols(c *trace.Columns) PCIeResult {
+	txE := stats.NewECDFSorted(c.Mean[metrics.PCIeTx].Sorted())
+	rxE := stats.NewECDFSorted(c.Mean[metrics.PCIeRx].Sorted())
 	return PCIeResult{
-		Tx:          NewCDFStat(tx, curvePoints),
-		Rx:          NewCDFStat(rx, curvePoints),
+		Tx:          cdfFromECDF(txE),
+		Rx:          cdfFromECDF(rxE),
 		TxUniformKS: txE.UniformityDistance(txE.Min(), txE.Max()),
 		RxUniformKS: rxE.UniformityDistance(rxE.Min(), rxE.Max()),
 	}
@@ -69,17 +74,20 @@ type InterfaceResult struct {
 }
 
 // ByInterface computes Fig. 5.
-func ByInterface(ds *trace.Dataset) InterfaceResult {
+func ByInterface(ds *trace.Dataset) InterfaceResult { return ByInterfaceCols(ds.Columns()) }
+
+// ByInterfaceCols computes Fig. 5 by gathering the mean-utilization columns
+// through the per-interface row index.
+func ByInterfaceCols(c *trace.Columns) InterfaceResult {
 	var r InterfaceResult
-	groups := ds.ByInterface()
-	total := len(ds.GPUJobs())
-	for iface := trace.Interface(0); iface < trace.NumInterfaces; iface++ {
-		jobs := groups[iface]
+	total := len(c.GPU)
+	for iface := range c.ByIface {
+		idx := c.ByIface[iface]
 		if total > 0 {
-			r.Share[iface] = float64(len(jobs)) / float64(total)
+			r.Share[iface] = float64(len(idx)) / float64(total)
 		}
-		r.SM[iface] = NewCDFStat(trace.MeanValues(jobs, metrics.SMUtil), curvePoints)
-		r.Mem[iface] = NewCDFStat(trace.MeanValues(jobs, metrics.MemUtil), curvePoints)
+		r.SM[iface] = ownedCDF(trace.Gather(c.Mean[metrics.SMUtil], idx))
+		r.Mem[iface] = ownedCDF(trace.Gather(c.Mean[metrics.MemUtil], idx))
 	}
 	return r
 }
@@ -93,11 +101,13 @@ type PowerResult struct {
 
 // Power computes Fig. 9a. The TDP reported is the maximum observed device
 // capability; with a single-GPU-model fleet it is the V100's 300 W.
-func Power(ds *trace.Dataset) PowerResult {
-	jobs := ds.GPUJobs()
+func Power(ds *trace.Dataset) PowerResult { return PowerCols(ds.Columns()) }
+
+// PowerCols computes Fig. 9a from the power columns.
+func PowerCols(c *trace.Columns) PowerResult {
 	return PowerResult{
-		Avg:      NewCDFStat(trace.MeanValues(jobs, metrics.Power), curvePoints),
-		Max:      NewCDFStat(trace.MaxValues(jobs, metrics.Power), curvePoints),
+		Avg:      colCDF(c.Mean[metrics.Power]),
+		Max:      colCDF(c.Max[metrics.Power]),
 		TDPWatts: 300,
 	}
 }
@@ -118,34 +128,38 @@ type GPUCountResult struct {
 }
 
 // GPUCounts computes Fig. 13.
-func GPUCounts(ds *trace.Dataset) GPUCountResult {
-	jobs := ds.GPUJobs()
+func GPUCounts(ds *trace.Dataset) GPUCountResult { return GPUCountsCols(ds.Columns()) }
+
+// GPUCountsCols computes Fig. 13 from the GPU-count and GPU-hour columns,
+// accumulating in dataset order so the hour shares match the row scan.
+func GPUCountsCols(c *trace.Columns) GPUCountResult {
 	r := GPUCountResult{FracByCount: map[int]float64{}}
-	if len(jobs) == 0 {
+	if len(c.GPU) == 0 {
 		return r
 	}
 	var hours [4]float64
 	var total, multiHours float64
-	for _, j := range jobs {
-		r.FracByCount[j.NumGPUs]++
-		h := j.GPUHours()
-		hours[SizeClass(j.NumGPUs)] += h
+	hourVals := c.GPUHours.Values()
+	for i, g := range c.NumGPUs {
+		r.FracByCount[g]++
+		h := hourVals[i]
+		hours[trace.SizeClass(g)] += h
 		total += h
 		switch {
-		case j.NumGPUs == 1:
+		case g == 1:
 			r.SingleGPUFrac++
 		default:
 			r.MultiGPUFrac++
 			multiHours += h
 		}
-		if j.NumGPUs > 2 {
+		if g > 2 {
 			r.Over2Frac++
 		}
-		if j.NumGPUs >= 9 {
+		if g >= 9 {
 			r.NinePlusFrac++
 		}
 	}
-	n := float64(len(jobs))
+	n := float64(len(c.GPU))
 	for k := range r.FracByCount {
 		r.FracByCount[k] /= n
 	}
@@ -154,8 +168,8 @@ func GPUCounts(ds *trace.Dataset) GPUCountResult {
 	r.Over2Frac /= n
 	r.NinePlusFrac /= n
 	if total > 0 {
-		for c := range hours {
-			r.HourShareBySizeClass[c] = hours[c] / total
+		for sc := range hours {
+			r.HourShareBySizeClass[sc] = hours[sc] / total
 		}
 		r.MultiGPUHourShare = multiHours / total
 	}
@@ -184,11 +198,16 @@ var multiGPUMetrics = [3]metrics.Metric{metrics.SMUtil, metrics.MemUtil, metrics
 const idleGPUMeanSM = 1.0
 
 // MultiGPU computes Fig. 14 from per-GPU summaries.
-func MultiGPU(ds *trace.Dataset) MultiGPUResult {
+func MultiGPU(ds *trace.Dataset) MultiGPUResult { return MultiGPUCols(ds.Columns()) }
+
+// MultiGPUCols computes Fig. 14 over the pre-filtered multi-GPU population,
+// reusing two scratch vectors across jobs instead of allocating per metric.
+func MultiGPUCols(c *trace.Columns) MultiGPUResult {
 	var r MultiGPUResult
-	jobs := ds.MultiGPUJobs()
+	jobs := c.Multi
 	var all, active [3][]float64
 	var withIdle, halfIdle, considered float64
+	var vals, act []float64
 	for _, j := range jobs {
 		if len(j.PerGPU) < 2 {
 			continue
@@ -207,7 +226,7 @@ func MultiGPU(ds *trace.Dataset) MultiGPUResult {
 			halfIdle++
 		}
 		for mi, m := range multiGPUMetrics {
-			var vals, act []float64
+			vals, act = vals[:0], act[:0]
 			for _, g := range j.PerGPU {
 				vals = append(vals, g[m].Mean)
 				if g[metrics.SMUtil].Mean >= idleGPUMeanSM || g[metrics.MemUtil].Mean >= idleGPUMeanSM {
@@ -228,8 +247,8 @@ func MultiGPU(ds *trace.Dataset) MultiGPUResult {
 		}
 	}
 	for mi := range multiGPUMetrics {
-		r.CoVAllGPUs[mi] = NewCDFStat(all[mi], curvePoints)
-		r.CoVActiveGPUs[mi] = NewCDFStat(active[mi], curvePoints)
+		r.CoVAllGPUs[mi] = ownedCDF(all[mi])
+		r.CoVActiveGPUs[mi] = ownedCDF(active[mi])
 	}
 	if considered > 0 {
 		r.IdleGPUJobFrac = withIdle / considered

@@ -216,7 +216,7 @@ type Score struct {
 // predictor, scoring strictly online. Targets with non-positive values skip
 // the log-based metrics.
 func Evaluate(ds *trace.Dataset, target Target, preds []Predictor) ([]Score, error) {
-	jobs := ds.GPUJobs()
+	jobs := ds.Columns().GPU
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("predict: no GPU jobs to evaluate")
 	}

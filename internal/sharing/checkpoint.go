@@ -74,7 +74,7 @@ func CheckpointStudy(ds *trace.Dataset, cfg CheckpointConfig) (CheckpointReport,
 	var rep CheckpointReport
 	var sumRun float64
 	var jobs []*trace.JobRecord
-	for _, j := range ds.GPUJobs() {
+	for _, j := range ds.Columns().GPU {
 		if !covered[lifecycle.Classify(j)] {
 			continue
 		}

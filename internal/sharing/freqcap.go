@@ -28,7 +28,7 @@ type CapComparison struct {
 // to (Patki et al.). The busy fraction of each job is approximated by its
 // mean SM utilization relative to its peak, falling back to the mean/100.
 func CompareCapping(ds *trace.Dataset, spec gpu.Spec, targets []float64) ([]CapComparison, error) {
-	jobs := ds.GPUJobs()
+	jobs := ds.Columns().GPU
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("sharing: no GPU jobs to study")
 	}

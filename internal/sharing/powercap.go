@@ -42,7 +42,7 @@ type PowerCapResult struct {
 // the fleet's GPU model (V100: 300 W TDP); fleetGPUs is the installed count
 // used for the over-provisioning arithmetic.
 func PowerCapStudy(ds *trace.Dataset, spec gpu.Spec, fleetGPUs int, capsWatts []float64) (PowerCapResult, error) {
-	jobs := ds.GPUJobs()
+	jobs := ds.Columns().GPU
 	res := PowerCapResult{Jobs: len(jobs)}
 	if len(jobs) == 0 {
 		return res, fmt.Errorf("sharing: no GPU jobs to study")

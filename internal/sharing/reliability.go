@@ -94,7 +94,7 @@ func ReliabilityStudy(ds *trace.Dataset, plan ReliabilityPlan) (ReliabilityResul
 		// Young–Daly against the failure process, not the run length.
 		interval = OptimalInterval(plan.Checkpoint.OverheadSec, plan.SlowTierMTBFHours*3600)
 	}
-	for _, j := range ds.GPUJobs() {
+	for _, j := range ds.Columns().GPU {
 		if !slowSet[lifecycle.Classify(j)] {
 			continue
 		}
@@ -137,7 +137,7 @@ func slowTierBusyFrac(ds *trace.Dataset, plan TierPlan) float64 {
 		slowSet[c] = true
 	}
 	var sum, n float64
-	for _, j := range ds.GPUJobs() {
+	for _, j := range ds.Columns().GPU {
 		if slowSet[lifecycle.Classify(j)] {
 			sum += j.GPU[metrics.SMUtil].Mean / 100
 			n++

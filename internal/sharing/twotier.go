@@ -68,7 +68,7 @@ func slowdownOn(j *trace.JobRecord, from, to gpu.Spec) float64 {
 
 // TwoTierStudy evaluates the plan over a dataset's GPU jobs.
 func TwoTierStudy(ds *trace.Dataset, plan TierPlan) (TwoTierResult, error) {
-	jobs := ds.GPUJobs()
+	jobs := ds.Columns().GPU
 	if len(jobs) == 0 {
 		return TwoTierResult{}, fmt.Errorf("sharing: no GPU jobs to study")
 	}

@@ -26,6 +26,13 @@ func NewECDF(xs []float64) *ECDF {
 	return &ECDF{sorted: s}
 }
 
+// NewECDFSorted adopts data that is already sorted ascending and NaN-free
+// without copying, the zero-allocation path for shared sorted column views.
+// The caller must not mutate the slice afterwards; the ECDF never does.
+func NewECDFSorted(sorted []float64) *ECDF {
+	return &ECDF{sorted: sorted}
+}
+
 // N returns the number of observations.
 func (e *ECDF) N() int { return len(e.sorted) }
 

@@ -28,25 +28,34 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
-// Variance returns the population variance of xs (divide by n), or NaN if xs
-// is empty. Population variance matches how the paper computes CoV over the
-// complete set of intervals of a run, which is a census, not a sample.
-func Variance(xs []float64) float64 {
+// MeanVariance returns the mean and population variance of xs (divide by n)
+// in one fused Welford pass, so CoV-style consumers never scan the data
+// twice. Population variance matches how the paper computes CoV over the
+// complete set of intervals of a run, which is a census, not a sample. Both
+// results are NaN for empty input.
+func MeanVariance(xs []float64) (mean, variance float64) {
 	if len(xs) == 0 {
-		return math.NaN()
+		return math.NaN(), math.NaN()
 	}
-	m := Mean(xs)
-	var ss float64
-	for _, x := range xs {
-		d := x - m
-		ss += d * d
+	var m, m2 float64
+	for i, x := range xs {
+		delta := x - m
+		m += delta / float64(i+1)
+		m2 += delta * (x - m)
 	}
-	return ss / float64(len(xs))
+	return m, m2 / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or NaN if xs is empty.
+func Variance(xs []float64) float64 {
+	_, v := MeanVariance(xs)
+	return v
 }
 
 // StdDev returns the population standard deviation of xs.
 func StdDev(xs []float64) float64 {
-	return math.Sqrt(Variance(xs))
+	_, v := MeanVariance(xs)
+	return math.Sqrt(v)
 }
 
 // CoV returns the coefficient of variation of xs expressed as a percentage
@@ -60,11 +69,11 @@ func CoV(xs []float64) float64 {
 	if len(xs) == 1 {
 		return 0
 	}
-	m := Mean(xs)
+	m, v := MeanVariance(xs)
 	if m == 0 {
 		return math.NaN()
 	}
-	return StdDev(xs) / math.Abs(m) * 100
+	return math.Sqrt(v) / math.Abs(m) * 100
 }
 
 // Min returns the minimum of xs, or NaN if xs is empty.
@@ -136,6 +145,17 @@ func Quantiles(xs []float64, ps ...float64) []float64 {
 
 // Median returns the 0.5 quantile.
 func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// QuantileSorted returns the p-quantile of data that is already sorted
+// ascending and NaN-free — the fast path for shared sorted column views,
+// which would otherwise be re-copied and re-sorted per quantile. It is
+// value-identical to Quantile on the same multiset.
+func QuantileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	return quantileSorted(sorted, p)
+}
 
 // quantileSorted computes the linear-interpolated quantile of sorted data.
 func quantileSorted(s []float64, p float64) float64 {
@@ -211,16 +231,27 @@ type BoxStats struct {
 	Outliers                []float64
 }
 
-// Box computes box-plot statistics of xs.
+// Box computes box-plot statistics of xs. It sorts a copy; use
+// BoxStatsSorted when a shared sorted view of the data already exists.
 func Box(xs []float64) BoxStats {
-	b := BoxStats{N: len(xs)}
 	if len(xs) == 0 {
+		return BoxStatsSorted(nil)
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return BoxStatsSorted(s)
+}
+
+// BoxStatsSorted computes box-plot statistics of data that is already sorted
+// ascending and NaN-free, without copying. The returned Outliers slice (if
+// any) is freshly allocated; the input is never retained.
+func BoxStatsSorted(s []float64) BoxStats {
+	b := BoxStats{N: len(s)}
+	if len(s) == 0 {
 		nan := math.NaN()
 		b.Median, b.Q1, b.Q3, b.WhiskerLow, b.WhiskerHigh = nan, nan, nan, nan, nan
 		return b
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
 	b.Q1 = quantileSorted(s, 0.25)
 	b.Median = quantileSorted(s, 0.50)
 	b.Q3 = quantileSorted(s, 0.75)
@@ -276,4 +307,25 @@ func FractionBelow(xs []float64, threshold float64) float64 {
 		}
 	}
 	return float64(n) / float64(len(xs))
+}
+
+// FractionAboveSorted is FractionAbove on data already sorted ascending and
+// NaN-free: a binary search replaces the linear count. The count (and hence
+// the exact division) matches the scan on the same multiset.
+func FractionAboveSorted(sorted []float64, threshold float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] > threshold })
+	return float64(len(sorted)-i) / float64(len(sorted))
+}
+
+// FractionBelowSorted is FractionBelow on data already sorted ascending and
+// NaN-free.
+func FractionBelowSorted(sorted []float64, threshold float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= threshold })
+	return float64(i) / float64(len(sorted))
 }

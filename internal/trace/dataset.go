@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/metrics"
 )
@@ -10,11 +11,38 @@ import (
 // Dataset is the joined study dataset: every job record, plus the detailed
 // time-series subset keyed by job ID. It corresponds to the paper's "single
 // dataset" built by combining Slurm logs and nvidia-smi profiles on job IDs.
+// A Dataset must not be copied by value once Columns has been called (the
+// memo holds a mutex); pass *Dataset, or build a fresh value via a composite
+// literal sharing Jobs/Series.
 type Dataset struct {
 	Jobs   []JobRecord
 	Series map[int64]*TimeSeries
 	// DurationDays is the trace's observation window (the paper's is 125).
 	DurationDays float64
+
+	colMu sync.Mutex
+	cols  *Columns
+}
+
+// Columns returns the memoized columnar projection of the dataset, building
+// it on first use. Add and AttachSeries invalidate the memo, so the returned
+// index always reflects the current contents; mutating Jobs or Series
+// directly does not (rebuild by calling BuildColumns, or mutate through the
+// methods). Safe for concurrent use.
+func (d *Dataset) Columns() *Columns {
+	d.colMu.Lock()
+	defer d.colMu.Unlock()
+	if d.cols == nil {
+		d.cols = BuildColumns(d)
+	}
+	return d.cols
+}
+
+// invalidateColumns drops the columnar memo after a mutation.
+func (d *Dataset) invalidateColumns() {
+	d.colMu.Lock()
+	d.cols = nil
+	d.colMu.Unlock()
 }
 
 // MinGPUJobRunSec is the paper's analysis filter: "jobs running for less
@@ -27,7 +55,10 @@ func NewDataset(durationDays float64) *Dataset {
 }
 
 // Add appends a record.
-func (d *Dataset) Add(j JobRecord) { d.Jobs = append(d.Jobs, j) }
+func (d *Dataset) Add(j JobRecord) {
+	d.Jobs = append(d.Jobs, j)
+	d.invalidateColumns()
+}
 
 // AttachSeries stores the detailed time series of a job.
 func (d *Dataset) AttachSeries(ts *TimeSeries) {
@@ -35,6 +66,7 @@ func (d *Dataset) AttachSeries(ts *TimeSeries) {
 		d.Series = make(map[int64]*TimeSeries)
 	}
 	d.Series[ts.JobID] = ts
+	d.invalidateColumns()
 }
 
 // GPUJobs returns the analysis population: GPU jobs with run time of at
