@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test short race race-sched race-analyze fuzz bench bench-pr3 bench-figures golden clean
+.PHONY: check build vet test short race race-sched race-analyze race-fault fuzz bench bench-pr3 bench-fault bench-figures golden clean
 
-check: vet build race-sched race-analyze race
+check: vet build race-sched race-analyze race-fault race
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,12 @@ race-analyze:
 	$(GO) test -race -run 'TestColumnar|TestParallelWorker|TestRunTasks' ./internal/core
 	$(GO) test -race ./internal/trace -run TestColumns
 
+# Fault-injection race pass (PR 4): the failure storms, requeue/backoff
+# recovery and fault-run determinism tests across the scheduler, engine and
+# monitor layers, under the race detector.
+race-fault:
+	$(GO) test -race -run 'Fault|FailureStorm|Requeue|Checkpoint|NodeCrash|NodeDrain|RunContext' 		./internal/slurm ./internal/engine ./internal/monitor ./internal/faults
+
 # Short fuzz session over every trace codec target.
 fuzz:
 	$(GO) test ./internal/trace -fuzz FuzzReadCSV -fuzztime 30s
@@ -61,6 +67,16 @@ bench-pr3:
 		-benchtime 1x -timeout 2h . | tee bench/last_run_pr3.txt
 	$(GO) run ./cmd/benchjson -label post-columnar \
 		-baseline bench/baseline_pr3.json < bench/last_run_pr3.txt > BENCH_PR3.json
+
+# Fault-path benchmarks (PR 4): the empty-plan guard — BenchmarkSimulate and
+# BenchmarkSchedule must hold their PR 3 numbers now that every event passes
+# through the fault-aware scheduler — plus BenchmarkSimulateFaults, which
+# prices the machinery when a fault plan is live. Joined against the
+# committed PR 3 baseline into BENCH_PR4.json (fault runs have no baseline
+# row and report absolute numbers only).
+bench-fault:
+	$(GO) test -run '^$$' -bench '^Benchmark(Simulate|Schedule|SimulateFaults)$$' 		-benchtime 1x -timeout 2h . | tee bench/last_run_pr4.txt
+	$(GO) run ./cmd/benchjson -label post-faults 		-baseline bench/baseline_pr3.json < bench/last_run_pr4.txt > BENCH_PR4.json
 
 # Figure/experiment benchmarks: regenerate every paper table and figure
 # metric (the pre-PR2 `make bench`).

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/slurm"
 	"repro/internal/workload"
 )
@@ -109,6 +110,40 @@ func BenchmarkSimulate(b *testing.B) {
 			}
 			b.ReportMetric(float64(st.Completed)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 			b.ReportMetric(float64(st.MaxQueueLen), "max-queue")
+		})
+	}
+}
+
+// BenchmarkSimulateFaults times the same end-to-end run with the full fault
+// machinery live (node crashes, drains, per-GPU fatals, requeue/backoff), so
+// the cost of failure-aware scheduling is a measured number. There is no
+// pre-fault baseline for this name; `make bench-fault` reports it alongside
+// the empty-plan guard.
+func BenchmarkSimulateFaults(b *testing.B) {
+	for _, sz := range schedSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			p := schedPopulation(b, sz.jobs)
+			cfg := slurm.DefaultConfig()
+			cfg.Cluster.Nodes = p.nodes
+			cfg.Faults = faults.Plan{
+				NodeCrashMTBFHours: 720,
+				NodeDrainMTBFHours: 1440,
+				MeanRepairHours:    2,
+				GPUFatalMTBFHours:  2000,
+			}
+			cfg.FaultSeed = 7
+			cfg.Requeue = slurm.DefaultRequeuePolicy()
+			b.ResetTimer()
+			var st slurm.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, st, err = slurm.Simulate(cfg, p.specs)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(st.Completed)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+			b.ReportMetric(float64(st.GPUFatals+st.NodeCrashes+st.NodeDrains), "faults")
 		})
 	}
 }

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/monitor"
 	"repro/internal/report"
 	"repro/internal/slurm"
@@ -53,8 +54,21 @@ func main() {
 		out         = flag.String("out", "", "optional path to write the resulting dataset (JSON)")
 		reps        = flag.Int("reps", 1, "independently-seeded replications (>1 switches to the replicated report)")
 		workers     = flag.Int("workers", 0, "worker goroutines for replicated runs (0 = GOMAXPROCS)")
+		mtbfCrash   = flag.Float64("mtbf-crash", 0, "per-node hard-crash MTBF in hours (0 = no crashes)")
+		mtbfDrain   = flag.Float64("mtbf-drain", 0, "per-node graceful-drain MTBF in hours (0 = no drains)")
+		mtbfGPU     = flag.Float64("mtbf-gpu", 0, "per-GPU fatal-error MTBF in hours (0 = no GPU fatals)")
+		repairHours = flag.Float64("repair-hours", 2, "mean node repair time in hours")
+		maxRetries  = flag.Int("max-retries", 3, "requeue attempts before a failed job is abandoned")
+		faultSeed   = flag.Uint64("fault-seed", 0, "failure-stream seed (0 = derive from -seed)")
 	)
 	flag.Parse()
+
+	plan := faults.Plan{
+		NodeCrashMTBFHours: *mtbfCrash,
+		NodeDrainMTBFHours: *mtbfDrain,
+		GPUFatalMTBFHours:  *mtbfGPU,
+		MeanRepairHours:    *repairHours,
+	}
 
 	gcfg := workload.ScaledConfig(*scale)
 	gcfg.Seed = *seed
@@ -63,7 +77,9 @@ func main() {
 		if *in != "" {
 			log.Fatal("replicated runs (-reps > 1) regenerate the population per replication; -in is not supported")
 		}
-		runReplicated(gcfg, simConfig(*nodes, *scale, *colocate, *monInterval, *seed), *reps, *workers, *seed)
+		scfg := simConfig(*nodes, *scale, *colocate, *monInterval, *seed)
+		applyFaults(&scfg, plan, *faultSeed, *seed, *maxRetries)
+		runReplicated(gcfg, scfg, *reps, *workers, *seed)
 		return
 	}
 
@@ -84,6 +100,7 @@ func main() {
 	}
 
 	scfg := simConfig(*nodes, *scale, *colocate, *monInterval, *seed)
+	applyFaults(&scfg, plan, *faultSeed, *seed, *maxRetries)
 	var rejected []workload.JobSpec
 	specs, rejected = slurm.Feasible(scfg, specs)
 	if len(rejected) > 0 {
@@ -166,6 +183,13 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if !scfg.Faults.Empty() {
+		fmt.Fprintln(w)
+		if err := report.AvailabilitySummary(w, "fault injection: availability & goodput", st); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -210,6 +234,22 @@ func simConfig(nodes int, scale float64, colocate bool, monInterval float64, see
 		scfg.MonitorSeed = seed
 	}
 	return scfg
+}
+
+// applyFaults layers the CLI's fault plan onto a scheduler configuration.
+// A zero plan leaves the configuration untouched, so the fault-free paths
+// stay byte-identical to the pre-fault binary.
+func applyFaults(scfg *slurm.Config, plan faults.Plan, faultSeed, seed uint64, maxRetries int) {
+	if plan.Empty() {
+		return
+	}
+	scfg.Faults = plan
+	if faultSeed == 0 {
+		faultSeed = seed
+	}
+	scfg.FaultSeed = faultSeed
+	scfg.Requeue = slurm.DefaultRequeuePolicy()
+	scfg.Requeue.MaxRetries = maxRetries
 }
 
 // runReplicated fans the generator→scheduler→characterization pipeline

@@ -31,10 +31,12 @@ import (
 	"os/signal"
 
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/predict"
 	"repro/internal/report"
 	"repro/internal/sharing"
+	"repro/internal/slurm"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -43,7 +45,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("whatif: ")
 	var (
-		study   = flag.String("study", "all", "powercap | capping | twotier | reliability | colocate | incentive | checkpoint | mig | predict | all")
+		study   = flag.String("study", "all", "powercap | capping | twotier | reliability | colocate | incentive | checkpoint | mig | predict | faultsim | all")
 		scale   = flag.Float64("scale", 0.05, "population scale relative to the paper")
 		seed    = flag.Uint64("seed", 1, "generator seed")
 		reps    = flag.Int("reps", 1, "independently-seeded replications (>1 switches to the replicated report)")
@@ -80,9 +82,10 @@ func main() {
 		"colocate":    runColocate,
 		"checkpoint":  runCheckpoint,
 		"mig":         runMIG,
+		"faultsim":    runFaultSim,
 	}
 	if *study == "all" {
-		for _, name := range []string{"powercap", "capping", "twotier", "reliability", "colocate", "incentive", "checkpoint", "mig", "predict"} {
+		for _, name := range []string{"powercap", "capping", "twotier", "reliability", "colocate", "incentive", "checkpoint", "mig", "predict", "faultsim"} {
 			if err := studies[name](w, specs, ds); err != nil {
 				log.Fatal(err)
 			}
@@ -265,6 +268,83 @@ func runMIG(w io.Writer, _ []workload.JobSpec, _ *trace.Dataset) error {
 	return err
 }
 
+// runFaultSim cross-checks the DES fault machinery against §VIII's analytic
+// reliability model: the same population is run through the scheduler with a
+// per-GPU fatal-error process at each MTBF, and the simulated lost work is
+// compared with sharing.ReliabilityStudy's closed-form estimate. The analytic
+// model is first-order in the per-job failure exposure, so the comparison
+// population is capped at 10 exposure GPU-hours per job — the same short
+// exploratory/development work §VIII routes to the flaky tier.
+func runFaultSim(w io.Writer, specs []workload.JobSpec, ds *trace.Dataset) error {
+	const maxExposure = 10.0 // GPU-hours; keeps the analytic model in regime
+	allCats := []trace.Category{trace.Mature, trace.Exploratory, trace.Development, trace.IDE}
+	v100 := gpu.V100()
+
+	base := slurm.DefaultConfig()
+	kept := make([]workload.JobSpec, 0, len(specs))
+	for _, sp := range specs {
+		if float64(sp.NumGPUs)*sp.RunSec/3600 <= maxExposure {
+			kept = append(kept, sp)
+		}
+	}
+	kept, _ = slurm.Feasible(base, kept)
+	ids := make(map[int64]bool, len(kept))
+	for _, sp := range kept {
+		ids[sp.ID] = true
+	}
+	sub := trace.NewDataset(ds.DurationDays)
+	for _, j := range ds.Jobs {
+		if ids[j.JobID] {
+			sub.Add(j)
+		}
+	}
+
+	t := report.NewTable("extension: DES fault injection vs analytic reliability model (jobs <= 10 exposure GPUh)",
+		"GPU MTBF (h)", "sim lost (GPUh)", "analytic lost (GPUh)", "ratio", "fatals", "requeues", "goodput")
+	for _, mtbf := range []float64{250, 500, 1000} {
+		cfg := base
+		cfg.Faults = faults.Plan{GPUFatalMTBFHours: mtbf}
+		cfg.FaultSeed = 7
+		// Effectively unbounded retries with a negligible hold: every job
+		// completes, matching the analytic model's eventual-completion
+		// assumption.
+		cfg.Requeue = slurm.RequeuePolicy{MaxRetries: 1 << 20, HoldSec: 1, HoldBackoff: 1}
+		res, st, err := slurm.Simulate(cfg, kept)
+		if err != nil {
+			return err
+		}
+		var simLost float64
+		for i := range kept {
+			sp := &kept[i]
+			if sp.NumGPUs == 0 || sp.RunSec < trace.MinGPUJobRunSec {
+				continue
+			}
+			if r := res[sp.ID]; r != nil {
+				simLost += float64(sp.NumGPUs) * r.LostSec / 3600
+			}
+		}
+		rel, err := sharing.ReliabilityStudy(sub, sharing.ReliabilityPlan{
+			Tiering: sharing.TierPlan{
+				Fast:                v100,
+				Slow:                v100, // slowdown 1: isolate the failure model
+				SlowTierCategories:  allCats,
+				UtilizationHeadroom: 0.25,
+			},
+			SlowTierMTBFHours: mtbf,
+		})
+		if err != nil {
+			return err
+		}
+		ratio := 0.0
+		if rel.LostGPUHours > 0 {
+			ratio = simLost / rel.LostGPUHours
+		}
+		t.AddRowF(mtbf, simLost, rel.LostGPUHours, ratio, st.GPUFatals, st.Requeues,
+			report.Pct(st.GoodputFraction()))
+	}
+	return t.Render(w)
+}
+
 // extractor pulls one study's headline scalar metrics from a replication's
 // population, prefixing each metric with the study name so -study all can
 // merge every extractor into one sample.
@@ -390,6 +470,8 @@ func runReplicated(study string, cfg workload.Config, reps, workers int, seed ui
 		names = []string{study}
 	} else if study == "mig" {
 		return fmt.Errorf("the MIG study is deterministic; replication adds nothing (drop -reps)")
+	} else if study == "faultsim" {
+		return fmt.Errorf("the faultsim study runs its own DES sweep; rerun with -reps 1 (vary -seed for independent draws)")
 	} else {
 		return fmt.Errorf("unknown or non-replicable study %q", study)
 	}

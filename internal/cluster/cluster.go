@@ -18,6 +18,7 @@ package cluster
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"repro/internal/gpu"
 )
@@ -83,6 +84,36 @@ func (c Config) TotalCores() int { return c.Nodes * c.CoresPerNode }
 // when deciding whether a node is back to fully idle.
 const memEps = 1e-9
 
+// NodeState is the availability state of a node: the fault-injection
+// machinery moves nodes Up → Draining → Down → Up, and only Up nodes are
+// visible to placement.
+type NodeState int
+
+// The node availability states.
+const (
+	// NodeUp is the normal serving state.
+	NodeUp NodeState = iota
+	// NodeDraining no longer accepts placements; existing allocations may
+	// still be running (scheduled drain) or being force-released (crash).
+	NodeDraining
+	// NodeDown is out of service entirely; the node must be empty.
+	NodeDown
+)
+
+// String returns the state name.
+func (s NodeState) String() string {
+	switch s {
+	case NodeUp:
+		return "up"
+	case NodeDraining:
+		return "draining"
+	case NodeDown:
+		return "down"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
 // Node is one compute node's live resource state.
 type Node struct {
 	Index     int
@@ -90,7 +121,9 @@ type Node struct {
 	freeMemGB float64
 	freeGPUs  int // unallocated devices; kept in lockstep with devices
 	devices   []*gpu.Device
-	exclusive int64 // job holding the node exclusively, or none
+	exclusive int64     // job holding the node exclusively, or none
+	state     NodeState // availability; non-Up nodes leave the index entirely
+	allocN    int       // live shares on this node (drain-completion tracking)
 
 	// Index membership caches, owned by Cluster.reindex.
 	bucket int // gpuBuckets slot currently holding this node; 0 = none
@@ -113,6 +146,13 @@ func (n *Node) FreeGPUs() int { return n.freeGPUs }
 
 // Exclusive reports whether a job holds the node exclusively.
 func (n *Node) Exclusive() bool { return n.exclusive != noExclusive }
+
+// State returns the node's availability state.
+func (n *Node) State() NodeState { return n.state }
+
+// shared reports whether the node participates in the shared aggregates:
+// up and not exclusively held.
+func (n *Node) shared() bool { return n.state == NodeUp && !n.Exclusive() }
 
 // nodeSet is an ordered set of node indices backed by a bitmap: O(1) add,
 // remove and membership, ascending-index iteration at ~64 nodes per word.
@@ -179,6 +219,11 @@ type Cluster struct {
 	gpuBuckets      []nodeSet // [g]: non-exclusive nodes with exactly g free GPUs, g >= 1
 	idleSet         nodeSet   // fully idle nodes (exclusive grants draw from here)
 	cpuSet          nodeSet   // non-exclusive nodes with freeCores > 0
+
+	// Availability accounting (fault injection): nodes and devices currently
+	// in the Down state.
+	downNodes int
+	downGPUs  int
 
 	// planBuf is reusable scratch for the plan-then-commit allocation paths.
 	planBuf []planShare
@@ -476,6 +521,7 @@ func (c *Cluster) allocateGPUJob(req Request) (*Allocation, error) {
 			}
 		}
 		c.book(p.node, p.cores, p.mem, p.gpus)
+		p.node.allocN++
 		alloc.Shares = append(alloc.Shares, share)
 	}
 	return alloc, nil
@@ -500,6 +546,7 @@ func (c *Cluster) allocateExclusiveCPUJob(req Request) (*Allocation, error) {
 	alloc := &Allocation{JobID: req.JobID, Shares: make([]NodeShare, 0, nodesNeeded)}
 	for _, n := range free {
 		c.markExclusive(n, req.JobID)
+		n.allocN++
 		alloc.Shares = append(alloc.Shares, NodeShare{Node: n.Index, Cores: c.cfg.CoresPerNode, MemGB: c.cfg.MemGBPerNode})
 	}
 	return alloc, nil
@@ -549,6 +596,7 @@ func (c *Cluster) allocateExclusiveGPUJob(req Request) (*Allocation, error) {
 			take++
 		}
 		c.book(n, 0, 0, take)
+		n.allocN++
 		alloc.Shares = append(alloc.Shares, share)
 	}
 	return alloc, nil
@@ -598,19 +646,20 @@ func (c *Cluster) allocateSharedCPUJob(req Request) (*Allocation, error) {
 	alloc := &Allocation{JobID: req.JobID, Shares: make([]NodeShare, 0, len(plan))}
 	for _, p := range plan {
 		c.book(p.node, p.cores, p.mem, 0)
+		p.node.allocN++
 		alloc.Shares = append(alloc.Shares, NodeShare{Node: p.node.Index, Cores: p.cores, MemGB: p.mem})
 	}
 	return alloc, nil
 }
 
 // book debits (or, with negative deltas, credits) a node's free resources
-// and keeps the capacity index coherent. Exclusive nodes are outside the
-// shared aggregates, so only their per-node counters move.
+// and keeps the capacity index coherent. Exclusive and non-up nodes are
+// outside the shared aggregates, so only their per-node counters move.
 func (c *Cluster) book(n *Node, cores int, mem float64, gpus int) {
 	n.freeCores -= cores
 	n.freeMemGB -= mem
 	n.freeGPUs -= gpus
-	if !n.Exclusive() {
+	if n.shared() {
 		c.freeCoresShared -= cores
 		c.freeGPUsShared -= gpus
 	}
@@ -618,20 +667,24 @@ func (c *Cluster) book(n *Node, cores int, mem float64, gpus int) {
 }
 
 // markExclusive hands the whole node to jobID: its remaining free capacity
-// leaves the shared aggregates and the node drains to zero.
+// leaves the shared aggregates and the node drains to zero. Only reachable
+// for idle (hence up) nodes.
 func (c *Cluster) markExclusive(n *Node, jobID int64) {
-	c.freeCoresShared -= n.freeCores
-	c.freeGPUsShared -= n.freeGPUs
+	if n.state == NodeUp {
+		c.freeCoresShared -= n.freeCores
+		c.freeGPUsShared -= n.freeGPUs
+	}
 	n.exclusive = jobID
 	n.freeCores = 0
 	n.freeMemGB = 0
 	c.reindex(n)
 }
 
-// reindex recomputes the node's index memberships from its raw state.
+// reindex recomputes the node's index memberships from its raw state. Nodes
+// that are not up belong to no set — they are invisible to placement.
 func (c *Cluster) reindex(n *Node) {
 	bucket := 0
-	if !n.Exclusive() && n.freeGPUs > 0 {
+	if n.shared() && n.freeGPUs > 0 {
 		bucket = n.freeGPUs
 	}
 	if bucket != n.bucket {
@@ -643,7 +696,7 @@ func (c *Cluster) reindex(n *Node) {
 		}
 		n.bucket = bucket
 	}
-	idle := !n.Exclusive() && n.freeCores == c.cfg.CoresPerNode &&
+	idle := n.shared() && n.freeCores == c.cfg.CoresPerNode &&
 		n.freeMemGB >= c.cfg.MemGBPerNode-memEps && n.freeGPUs == len(n.devices)
 	if idle != n.inIdle {
 		if idle {
@@ -653,7 +706,7 @@ func (c *Cluster) reindex(n *Node) {
 		}
 		n.inIdle = idle
 	}
-	cpu := !n.Exclusive() && n.freeCores > 0
+	cpu := n.shared() && n.freeCores > 0
 	if cpu != n.inCPU {
 		if cpu {
 			c.cpuSet.add(n.Index)
@@ -662,6 +715,90 @@ func (c *Cluster) reindex(n *Node) {
 		}
 		n.inCPU = cpu
 	}
+}
+
+// BeginDrain moves an up node to draining: it leaves the capacity index and
+// the shared aggregates immediately, so no further placements land on it.
+// Existing allocations keep running (scheduled drain) or are force-released
+// by the caller (crash).
+func (c *Cluster) BeginDrain(i int) error {
+	n := c.nodes[i]
+	if n.state != NodeUp {
+		return fmt.Errorf("cluster: cannot drain node %d from state %s", i, n.state)
+	}
+	if !n.Exclusive() {
+		c.freeCoresShared -= n.freeCores
+		c.freeGPUsShared -= n.freeGPUs
+	}
+	n.state = NodeDraining
+	c.reindex(n)
+	return nil
+}
+
+// SetDown completes a drain: the node must hold no allocations (every job
+// finished or was force-released). Its capacity is counted as lost until
+// SetUp returns it to service.
+func (c *Cluster) SetDown(i int) error {
+	n := c.nodes[i]
+	if n.state != NodeDraining {
+		return fmt.Errorf("cluster: cannot down node %d from state %s", i, n.state)
+	}
+	if n.allocN != 0 || n.Exclusive() {
+		return fmt.Errorf("cluster: node %d still holds %d allocations", i, n.allocN)
+	}
+	if n.freeCores != c.cfg.CoresPerNode || n.freeGPUs != len(n.devices) {
+		return fmt.Errorf("cluster: node %d not fully free at down transition", i)
+	}
+	n.state = NodeDown
+	c.downNodes++
+	c.downGPUs += len(n.devices)
+	c.reindex(n)
+	return nil
+}
+
+// SetUp returns a repaired node to service: its (full) free capacity rejoins
+// the shared aggregates and the index.
+func (c *Cluster) SetUp(i int) error {
+	n := c.nodes[i]
+	if n.state != NodeDown {
+		return fmt.Errorf("cluster: cannot restore node %d from state %s", i, n.state)
+	}
+	n.state = NodeUp
+	c.downNodes--
+	c.downGPUs -= len(n.devices)
+	c.freeCoresShared += n.freeCores
+	c.freeGPUsShared += n.freeGPUs
+	c.reindex(n)
+	return nil
+}
+
+// NodeState returns node i's availability state.
+func (c *Cluster) NodeState(i int) NodeState { return c.nodes[i].state }
+
+// NodeAllocations returns the number of live shares on node i.
+func (c *Cluster) NodeAllocations(i int) int { return c.nodes[i].allocN }
+
+// DownNodes returns the number of nodes currently down.
+func (c *Cluster) DownNodes() int { return c.downNodes }
+
+// DownGPUs returns the number of devices on down nodes — capacity currently
+// lost to failures.
+func (c *Cluster) DownGPUs() int { return c.downGPUs }
+
+// JobsOnNode returns the IDs of every job holding a share on node i, in
+// ascending order — the deterministic kill order for a node crash.
+func (c *Cluster) JobsOnNode(i int) []int64 {
+	var ids []int64
+	for id, alloc := range c.allocations {
+		for _, s := range alloc.Shares {
+			if s.Node == i {
+				ids = append(ids, id)
+				break
+			}
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
 }
 
 // Release returns a job's resources. It errors if the job holds nothing —
@@ -673,6 +810,7 @@ func (c *Cluster) Release(jobID int64) error {
 	}
 	for _, s := range alloc.Shares {
 		n := c.nodes[s.Node]
+		n.allocN--
 		if n.exclusive == jobID {
 			for _, id := range s.GPUIDs {
 				if err := n.devices[id.Index].Release(); err != nil {
@@ -683,8 +821,10 @@ func (c *Cluster) Release(jobID int64) error {
 			n.exclusive = noExclusive
 			n.freeCores = c.cfg.CoresPerNode
 			n.freeMemGB = c.cfg.MemGBPerNode
-			c.freeCoresShared += n.freeCores
-			c.freeGPUsShared += n.freeGPUs
+			if n.state == NodeUp {
+				c.freeCoresShared += n.freeCores
+				c.freeGPUsShared += n.freeGPUs
+			}
 			c.reindex(n)
 			continue
 		}
@@ -713,11 +853,19 @@ func (c *Cluster) LiveAllocations() int { return len(c.allocations) }
 
 // CheckInvariants verifies resource conservation — free counts within
 // bounds, no device allocated to an unknown job, exclusive nodes fully
-// drained — and that the capacity index (per-node counters, bucket/set
-// memberships, shared aggregates) matches a from-scratch recomputation. It
-// is called by tests and, under EnableAudit, after every allocation.
+// drained, down nodes empty — and that the capacity index (per-node
+// counters, bucket/set memberships, shared aggregates, availability
+// counters) matches a from-scratch recomputation. It is called by tests and,
+// under EnableAudit, after every allocation.
 func (c *Cluster) CheckInvariants() error {
 	wantGPUs, wantCores := 0, 0
+	wantDownNodes, wantDownGPUs := 0, 0
+	shareCount := make(map[int]int)
+	for _, alloc := range c.allocations {
+		for _, s := range alloc.Shares {
+			shareCount[s.Node]++
+		}
+	}
 	for _, n := range c.nodes {
 		if n.freeCores < 0 || n.freeCores > c.cfg.CoresPerNode {
 			return fmt.Errorf("cluster: node %d free cores %d out of range", n.Index, n.freeCores)
@@ -741,23 +889,34 @@ func (c *Cluster) CheckInvariants() error {
 		if n.Exclusive() && (n.freeCores != 0 || n.freeMemGB != 0) {
 			return fmt.Errorf("cluster: exclusive node %d not fully drained", n.Index)
 		}
-		if !n.Exclusive() {
+		if n.allocN != shareCount[n.Index] {
+			return fmt.Errorf("cluster: node %d share counter %d, allocations say %d",
+				n.Index, n.allocN, shareCount[n.Index])
+		}
+		if n.state == NodeDown {
+			wantDownNodes++
+			wantDownGPUs += len(n.devices)
+			if n.allocN != 0 || n.Exclusive() || n.freeCores != c.cfg.CoresPerNode || n.freeGPUs != len(n.devices) {
+				return fmt.Errorf("cluster: down node %d is not empty", n.Index)
+			}
+		}
+		if n.shared() {
 			wantGPUs += n.freeGPUs
 			wantCores += n.freeCores
 		}
 		wantBucket := 0
-		if !n.Exclusive() && n.freeGPUs > 0 {
+		if n.shared() && n.freeGPUs > 0 {
 			wantBucket = n.freeGPUs
 		}
 		if n.bucket != wantBucket || (wantBucket > 0 && !c.gpuBuckets[wantBucket].contains(n.Index)) {
 			return fmt.Errorf("cluster: node %d in GPU bucket %d, want %d", n.Index, n.bucket, wantBucket)
 		}
-		wantIdle := !n.Exclusive() && n.freeCores == c.cfg.CoresPerNode &&
+		wantIdle := n.shared() && n.freeCores == c.cfg.CoresPerNode &&
 			n.freeMemGB >= c.cfg.MemGBPerNode-memEps && n.freeGPUs == len(n.devices)
 		if n.inIdle != wantIdle || c.idleSet.contains(n.Index) != wantIdle {
 			return fmt.Errorf("cluster: node %d idle-set membership %v, want %v", n.Index, n.inIdle, wantIdle)
 		}
-		wantCPU := !n.Exclusive() && n.freeCores > 0
+		wantCPU := n.shared() && n.freeCores > 0
 		if n.inCPU != wantCPU || c.cpuSet.contains(n.Index) != wantCPU {
 			return fmt.Errorf("cluster: node %d cpu-set membership %v, want %v", n.Index, n.inCPU, wantCPU)
 		}
@@ -767,6 +926,10 @@ func (c *Cluster) CheckInvariants() error {
 	}
 	if wantCores != c.freeCoresShared {
 		return fmt.Errorf("cluster: shared free-core aggregate %d, nodes say %d", c.freeCoresShared, wantCores)
+	}
+	if wantDownNodes != c.downNodes || wantDownGPUs != c.downGPUs {
+		return fmt.Errorf("cluster: down counters nodes=%d gpus=%d, states say nodes=%d gpus=%d",
+			c.downNodes, c.downGPUs, wantDownNodes, wantDownGPUs)
 	}
 	return nil
 }

@@ -46,7 +46,7 @@ func (c *Cluster) naivePlanGPU(req Request) ([]NodeShare, error) {
 	var cands []candidate
 	totalFree := 0
 	for _, n := range c.nodes {
-		if n.Exclusive() {
+		if n.state != NodeUp || n.Exclusive() {
 			continue
 		}
 		fg := deviceFreeGPUs(n)
@@ -140,7 +140,7 @@ func (c *Cluster) naivePlanGPU(req Request) ([]NodeShare, error) {
 func (c *Cluster) naiveIdleNodes(want int) []*Node {
 	var free []*Node
 	for _, n := range c.nodes {
-		if n.Exclusive() || n.freeCores != c.cfg.CoresPerNode ||
+		if n.state != NodeUp || n.Exclusive() || n.freeCores != c.cfg.CoresPerNode ||
 			n.freeMemGB < c.cfg.MemGBPerNode-memEps || deviceFreeGPUs(n) != len(n.devices) {
 			continue
 		}
@@ -209,7 +209,7 @@ func (c *Cluster) naivePlanSharedCPU(req Request) ([]NodeShare, error) {
 		if coresLeft <= 0 && memLeft <= 0 {
 			break
 		}
-		if n.Exclusive() || n.freeCores == 0 {
+		if n.state != NodeUp || n.Exclusive() || n.freeCores == 0 {
 			continue
 		}
 		if req.AvoidGPUNodes && deviceFreeGPUs(n) > 0 {

@@ -40,6 +40,11 @@ func (e Experiment) Replicator() Replicator {
 		if scfg.Monitor != nil {
 			scfg.MonitorSeed = seed
 		}
+		if !scfg.Faults.Empty() {
+			// Each replication draws its failure streams from its own seed;
+			// the faults package salts them away from the workload streams.
+			scfg.FaultSeed = seed
+		}
 		// Submit-time feasibility gate: jobs exceeding the (possibly down-
 		// scaled) cluster's capacity are rejected as Slurm would, not left
 		// to deadlock the drain.
@@ -48,7 +53,7 @@ func (e Experiment) Replicator() Replicator {
 		if err != nil {
 			return nil, fmt.Errorf("replication %d: %w", rep, err)
 		}
-		results, st, err := sim.Run(specs)
+		results, st, err := sim.RunContext(ctx, specs)
 		if err != nil {
 			return nil, fmt.Errorf("replication %d: %w", rep, err)
 		}
@@ -58,6 +63,25 @@ func (e Experiment) Replicator() Replicator {
 		ds := sim.BuildDataset(specs, results, gcfg.DurationDays)
 		sm := Characterize(ds, st)
 		sm["jobs_rejected"] = float64(len(rejected))
+		if !scfg.Faults.Empty() {
+			// Fault metrics appear only under a fault plan, so fault-free
+			// samples — and the golden figures built from them — keep their
+			// exact key set.
+			sm["node_crashes"] = float64(st.NodeCrashes)
+			sm["node_drains"] = float64(st.NodeDrains)
+			sm["gpu_fatals"] = float64(st.GPUFatals)
+			sm["requeues"] = float64(st.Requeues)
+			sm["jobs_abandoned"] = float64(st.JobsAbandoned)
+			sm["lost_gpu_hours"] = st.LostGPUHours
+			sm["recovered_gpu_hours"] = st.RecoveredGPUHours
+			sm["down_gpu_hours"] = st.DownGPUHours
+			sm["availability_mean"] = st.Availability()
+			sm["goodput_frac"] = st.GoodputFraction()
+		}
+		if len(scfg.MonitorFaults) > 0 {
+			sm["monitor_dropped_samples"] = float64(st.MonitorDropped)
+			sm["monitor_stalled_jobs"] = float64(st.MonitorStalled)
+		}
 		return sm, nil
 	}
 }

@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/monitor"
+	"repro/internal/slurm"
+)
+
+// faultExperiment layers the full fault machinery — node crashes, drains,
+// GPU fatals, requeue/backoff, monitor degradation — onto the small engine
+// experiment so the determinism tests exercise every new code path.
+func faultExperiment() Experiment {
+	e := smallExperiment()
+	e.Sim.Faults = faults.Plan{
+		NodeCrashMTBFHours: 24,
+		NodeDrainMTBFHours: 48,
+		MeanRepairHours:    2,
+		GPUFatalMTBFHours:  48,
+	}
+	e.Sim.Requeue = slurm.RequeuePolicy{MaxRetries: 10, HoldSec: 60, HoldBackoff: 2}
+	mc := monitor.DefaultConfig()
+	e.Sim.Monitor = &mc
+	e.Sim.MonitorFaults = monitor.FaultPlan{0: {DropRate: 0.2}}
+	return e
+}
+
+// TestFaultRunDeterministicAcrossWorkerCounts extends the engine's headline
+// determinism contract to fault-injected replications: the failure streams
+// are derived from each replication's private seed, so the merged summary
+// must be byte-identical whether one worker or eight ran the batch.
+func TestFaultRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault-injected replication batch in -short mode")
+	}
+	const reps = 4
+	fn := faultExperiment().Replicator()
+	serial := runBatch(t, 1, reps, fn)
+	parallel := runBatch(t, 8, reps, fn)
+	if serial.Merged.Fingerprint() != parallel.Merged.Fingerprint() {
+		var a, b strings.Builder
+		serial.Merged.WriteCanonical(&a)
+		parallel.Merged.WriteCanonical(&b)
+		t.Fatalf("workers=1 vs workers=8 fault summaries differ:\nserial:\n%s\nparallel:\n%s", a.String(), b.String())
+	}
+	for _, key := range []string{
+		"node_crashes", "node_drains", "gpu_fatals", "requeues",
+		"jobs_abandoned", "lost_gpu_hours", "recovered_gpu_hours",
+		"down_gpu_hours", "availability_mean", "goodput_frac",
+		"monitor_dropped_samples", "monitor_stalled_jobs",
+	} {
+		if serial.Merged.Agg(key) == nil {
+			t.Fatalf("fault replication missing %q metric", key)
+		}
+	}
+	if avail := serial.Merged.Agg("availability_mean"); avail.Max() > 1 || avail.Min() <= 0 {
+		t.Fatalf("availability out of (0,1]: min %v max %v", avail.Min(), avail.Max())
+	}
+}
+
+// TestFaultFreePlanKeepsSampleKeySet guards the golden figures: without a
+// fault plan the replicator must emit exactly the pre-fault key set, so
+// fault support cannot silently change fault-free figure output.
+func TestFaultFreePlanKeepsSampleKeySet(t *testing.T) {
+	b := runBatch(t, 2, 2, smallExperiment().Replicator())
+	for _, key := range []string{
+		"node_crashes", "lost_gpu_hours", "availability_mean",
+		"monitor_dropped_samples",
+	} {
+		if b.Merged.Agg(key) != nil {
+			t.Fatalf("fault-free replication emitted fault metric %q", key)
+		}
+	}
+}

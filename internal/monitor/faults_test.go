@@ -102,3 +102,42 @@ func TestFaultDeterminism(t *testing.T) {
 		t.Fatalf("fault injection not deterministic: (%d,%v) vs (%d,%v)", d1, m1, d2, m2)
 	}
 }
+
+// TestInjectFaultsMidRunAffectsOnlyNewMonitors is the regression test for the
+// InjectFaults documentation claim: a monitor created before the plan was
+// installed keeps its healthy collector even though its sampling loop runs
+// after injection (the epilog drives Run lazily), while a monitor created
+// after injection on the same node is degraded.
+func TestInjectFaultsMidRunAffectsOnlyNewMonitors(t *testing.T) {
+	p := newTestPipeline(t, DefaultConfig())
+	prof := testProfile(t, 1000, 1, 40)
+
+	// Monitor A: prolog fires while node 3 is healthy. Its samples have not
+	// been collected yet — Run happens at epilog time, after injection.
+	ma := p.Prolog(1, 3, gpu.V100(), gpu.DefaultPowerModel(), []Source{prof}, false)
+
+	p.InjectFaults(FaultPlan{3: {DropRate: 1, StallProb: 1}})
+
+	// Monitor B: prolog fires on the now-faulty node.
+	mb := p.Prolog(2, 3, gpu.V100(), gpu.DefaultPowerModel(), []Source{prof}, false)
+
+	if err := p.Epilog(ma); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Epilog(mb); err != nil {
+		t.Fatal(err)
+	}
+	if p.DroppedSamples() != 0 {
+		t.Fatalf("pre-injection monitor dropped %d samples", p.DroppedSamples())
+	}
+	if got := p.StalledJobs(); got != 1 {
+		t.Fatalf("stalled jobs = %d, want exactly the post-injection monitor", got)
+	}
+	if s := p.Summaries(1); s[0][metrics.SMUtil].Mean < 35 {
+		t.Fatalf("pre-injection digest degraded: %+v", s[0][metrics.SMUtil])
+	}
+	rec := p.Summaries(2)[0][metrics.SMUtil]
+	if rec.Min != 0 || rec.Mean != 0 || rec.Max != 0 {
+		t.Fatalf("post-injection monitor produced data: %+v", rec)
+	}
+}

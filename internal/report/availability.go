@@ -1,0 +1,28 @@
+package report
+
+import (
+	"io"
+
+	"repro/internal/slurm"
+)
+
+// AvailabilitySummary renders one fault-injected run's availability and
+// goodput accounting: what the failure process did (crashes, drains,
+// fatals), what recovery did (requeues, abandonments, checkpoint credit),
+// and what it cost (lost capacity-hours, lost work, availability and
+// goodput fractions).
+func AvailabilitySummary(w io.Writer, title string, st slurm.Stats) error {
+	t := NewTable(title, "metric", "value")
+	t.AddRowF("node crashes", st.NodeCrashes)
+	t.AddRowF("node drains", st.NodeDrains)
+	t.AddRowF("node repairs", st.NodeRepairs)
+	t.AddRowF("gpu fatal errors", st.GPUFatals)
+	t.AddRowF("job requeues", st.Requeues)
+	t.AddRowF("jobs abandoned", st.JobsAbandoned)
+	t.AddRowF("down GPU-hours", st.DownGPUHours)
+	t.AddRowF("lost GPU-hours", st.LostGPUHours)
+	t.AddRowF("recovered GPU-hours", st.RecoveredGPUHours)
+	t.AddRowF("availability", Pct(st.Availability()))
+	t.AddRowF("goodput fraction", Pct(st.GoodputFraction()))
+	return t.Render(w)
+}

@@ -1,9 +1,10 @@
-package sharing
+package sharing_test
 
 import (
 	"testing"
 
 	"repro/internal/gpu"
+	"repro/internal/sharing"
 	"repro/internal/slurm"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -21,7 +22,7 @@ func TestMergeForColocationPairsAdjacentCoolJobs(t *testing.T) {
 		}
 	}
 	specs := []workload.JobSpec{mk(1, 0, 20), mk(2, 100, 25), mk(3, 99999, 20)}
-	plan := MergeForColocation(specs, DefaultColocationConfig(), 3600)
+	plan := sharing.MergeForColocation(specs, sharing.DefaultColocationConfig(), 3600)
 	if plan.PairsFormed != 1 {
 		t.Fatalf("pairs = %d, want 1 (job 3 is too far away)", plan.PairsFormed)
 	}
@@ -58,7 +59,7 @@ func TestMergeRefusesHotPairs(t *testing.T) {
 		return workload.JobSpec{ID: id, SubmitSec: 0, RunSec: 1000, NumGPUs: 1,
 			CoresPerGPU: 4, MemGBPerGPU: 16, Profiles: []*workload.Profile{p}}
 	}
-	plan := MergeForColocation([]workload.JobSpec{mk(1), mk(2)}, DefaultColocationConfig(), 3600)
+	plan := sharing.MergeForColocation([]workload.JobSpec{mk(1), mk(2)}, sharing.DefaultColocationConfig(), 3600)
 	if plan.PairsFormed != 0 {
 		t.Fatal("hot jobs merged")
 	}
@@ -69,7 +70,7 @@ func TestMergeRefusesHotPairs(t *testing.T) {
 
 func TestMergePassesThroughMultiGPUJobs(t *testing.T) {
 	specs := []workload.JobSpec{{ID: 1, NumGPUs: 4, RunSec: 100}}
-	plan := MergeForColocation(specs, DefaultColocationConfig(), 3600)
+	plan := sharing.MergeForColocation(specs, sharing.DefaultColocationConfig(), 3600)
 	if plan.PairsFormed != 0 || len(plan.Merged) != 1 || plan.Merged[0].NumGPUs != 4 {
 		t.Fatalf("multi-GPU job mangled: %+v", plan)
 	}
@@ -109,7 +110,7 @@ func TestColocatedSchedulingReducesWaits(t *testing.T) {
 		return stats.Mean(waits)
 	}
 	exclusiveWait := run(specs)
-	plan := MergeForColocation(specs, DefaultColocationConfig(), 1800)
+	plan := sharing.MergeForColocation(specs, sharing.DefaultColocationConfig(), 1800)
 	if plan.PairsFormed < 20 {
 		t.Fatalf("only %d pairs formed", plan.PairsFormed)
 	}

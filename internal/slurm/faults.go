@@ -1,0 +1,254 @@
+package slurm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/sharing"
+)
+
+// RequeuePolicy governs recovery of jobs killed by injected failures — the
+// Slurm requeue-and-hold behavior the paper's operations sections assume.
+type RequeuePolicy struct {
+	// MaxRetries bounds how many times a killed job is requeued before it is
+	// abandoned (3 allows up to four attempts).
+	MaxRetries int
+	// HoldSec is the hold before a killed job re-enters the queue.
+	HoldSec float64
+	// HoldBackoff multiplies the hold per additional requeue (exponential
+	// backoff); values below 1 are treated as 1.
+	HoldBackoff float64
+	// Checkpoint, when non-nil, credits completed work across attempts for
+	// the listed categories, using the Young–Daly interval against the fault
+	// plan's MTBF; a restarted attempt pays RestartSec and replays from its
+	// last checkpoint instead of from scratch.
+	Checkpoint *sharing.CheckpointConfig
+}
+
+// DefaultRequeuePolicy matches a production requeue configuration: three
+// retries with a one-minute doubling hold, no checkpointing.
+func DefaultRequeuePolicy() RequeuePolicy {
+	return RequeuePolicy{MaxRetries: 3, HoldSec: 60, HoldBackoff: 2}
+}
+
+// Validate reports parameterization errors.
+func (p RequeuePolicy) Validate() error {
+	if p.MaxRetries < 0 || p.HoldSec < 0 || p.HoldBackoff < 0 {
+		return fmt.Errorf("slurm: negative requeue parameter %+v", p)
+	}
+	return nil
+}
+
+// jobRun tracks one job's recovery state across attempts.
+type jobRun struct {
+	attempt  int     // stamps events so kills invalidate in-flight finishes
+	running  bool    // an attempt currently holds resources
+	doneSec  float64 // checkpointed progress carried into the next attempt
+	busySec  float64 // wall time consumed by failed attempts
+	lostSec  float64 // busySec minus checkpoint credit — destroyed work
+	requeues int
+}
+
+// setupFaults validates the fault configuration and allocates the recovery
+// state. With an empty plan nothing is allocated and no fault code runs: the
+// simulation is byte-identical to a fault-free build.
+func (s *Simulator) setupFaults() error {
+	if err := s.cfg.Faults.Validate(); err != nil {
+		return err
+	}
+	if err := s.cfg.Requeue.Validate(); err != nil {
+		return err
+	}
+	s.liveJobs = len(s.specs)
+	if s.cfg.Faults.Empty() {
+		return nil
+	}
+	s.faultsOn = true
+	s.runState = make([]jobRun, len(s.specs))
+	s.specIdx = make(map[int64]int, len(s.specs))
+	for i := range s.specs {
+		s.specIdx[s.specs[i].ID] = i
+	}
+	if ck := s.cfg.Requeue.Checkpoint; ck != nil && ck.OverheadSec > 0 {
+		// Young–Daly against the failure process the plan actually runs.
+		mtbf := s.cfg.Faults.GPUFatalMTBFHours
+		if mtbf <= 0 {
+			mtbf = s.cfg.Faults.NodeCrashMTBFHours
+		}
+		if mtbf > 0 {
+			s.ckptEvery = sharing.OptimalInterval(ck.OverheadSec, mtbf*3600)
+		}
+		for _, c := range ck.Categories {
+			s.ckptCats[c] = true
+		}
+	}
+	if s.cfg.Faults.NodeOutages() {
+		s.injector = faults.NewInjector(s.cfg.Faults, s.cfg.Cluster.Nodes, s.cfg.FaultSeed)
+		s.nodeFault = make([]faults.NodeEvent, s.cfg.Cluster.Nodes)
+		for n := 0; n < s.cfg.Cluster.Nodes; n++ {
+			s.scheduleNodeFault(n)
+		}
+	}
+	return nil
+}
+
+// scheduleNodeFault draws the node's next outage from its private stream and
+// queues it. Each node has at most one outstanding outage.
+func (s *Simulator) scheduleNodeFault(node int) {
+	ev, ok := s.injector.Next(node, s.now)
+	if !ok {
+		return
+	}
+	s.nodeFault[node] = ev
+	s.push(event{timeSec: ev.TimeSec, kind: evNodeFault, idx: node})
+}
+
+// onNodeFault applies a node's scheduled outage: a crash kills every resident
+// job before draining; a scheduled drain stops new placements and lets
+// residents finish. Once the workload is fully drained the failure process
+// stops so the run can terminate.
+func (s *Simulator) onNodeFault(node int) error {
+	if s.liveJobs == 0 {
+		return nil
+	}
+	ev := s.nodeFault[node]
+	if err := s.cluster.BeginDrain(node); err != nil {
+		return err
+	}
+	if ev.Kind == faults.Crash {
+		s.stats.NodeCrashes++
+		for _, id := range s.cluster.JobsOnNode(node) {
+			if err := s.kill(s.specIdx[id]); err != nil {
+				return err
+			}
+		}
+	} else {
+		s.stats.NodeDrains++
+	}
+	return s.completeDrain(node)
+}
+
+// completeDrain downs a draining node once its last allocation is gone and
+// schedules the repair. Safe to call speculatively; it no-ops unless the
+// node is draining and empty.
+func (s *Simulator) completeDrain(node int) error {
+	if s.cluster.NodeState(node) != cluster.NodeDraining || s.cluster.NodeAllocations(node) != 0 {
+		return nil
+	}
+	if err := s.cluster.SetDown(node); err != nil {
+		return err
+	}
+	s.downGPUs = s.cluster.DownGPUs()
+	s.push(event{timeSec: s.now + s.nodeFault[node].RepairSec, kind: evNodeRepair, idx: node})
+	return nil
+}
+
+// onNodeRepair returns a repaired node to service and, while jobs remain,
+// draws its next outage.
+func (s *Simulator) onNodeRepair(node int) error {
+	if err := s.cluster.SetUp(node); err != nil {
+		return err
+	}
+	s.downGPUs = s.cluster.DownGPUs()
+	s.stats.NodeRepairs++
+	// Capacity grew: cached blocked verdicts are stale from here on.
+	s.epoch++
+	if s.liveJobs > 0 {
+		s.scheduleNodeFault(node)
+	}
+	return nil
+}
+
+// onJobFatal handles a per-GPU fatal error scheduled against one attempt.
+// The attempt stamp invalidates fatals whose attempt already ended.
+func (s *Simulator) onJobFatal(e event) error {
+	rs := &s.runState[e.idx]
+	if !rs.running || rs.attempt != e.arg {
+		return nil
+	}
+	s.stats.GPUFatals++
+	return s.kill(e.idx)
+}
+
+// kill force-terminates a running attempt: resources are released, checkpoint
+// credit (if any) is banked, destroyed work is accounted, and the job is
+// either requeued after its backoff hold or abandoned once retries are
+// exhausted.
+func (s *Simulator) kill(idx int) error {
+	sp := &s.specs[idx]
+	rs := &s.runState[idx]
+	res := s.results[sp.ID]
+	elapsed := s.now - res.StartSec
+	s.busyGPUs -= len(res.GPUs)
+	shares := res.Shares
+	if err := s.cluster.Release(sp.ID); err != nil {
+		return err
+	}
+	s.epoch++
+	// A killed attempt never reaches the epilog; drop its monitor. Prolog
+	// registers nothing in the pipeline's shared maps, so a fresh monitor on
+	// the next attempt finalizes cleanly.
+	delete(s.monitors, sp.ID)
+	credit := 0.0
+	if s.ckptEvery > 0 && s.ckptCats[sp.Category] {
+		replay := 0.0
+		if rs.doneSec > 0 {
+			replay = s.cfg.Requeue.Checkpoint.RestartSec
+		}
+		if prog := elapsed - replay; prog > 0 {
+			credit = math.Floor(prog/s.ckptEvery) * s.ckptEvery
+		}
+		if maxCredit := sp.RunSec - rs.doneSec; credit > maxCredit {
+			credit = maxCredit
+		}
+		rs.doneSec += credit
+	}
+	lost := elapsed - credit
+	rs.busySec += elapsed
+	rs.lostSec += lost
+	s.stats.LostGPUHours += float64(len(res.GPUs)) * lost / 3600
+	s.stats.RecoveredGPUHours += float64(len(res.GPUs)) * credit / 3600
+	rs.running = false
+	rs.attempt++
+	if rs.requeues >= s.cfg.Requeue.MaxRetries {
+		s.stats.JobsAbandoned++
+		delete(s.results, sp.ID)
+		s.liveJobs--
+	} else {
+		rs.requeues++
+		s.stats.Requeues++
+		hold := s.cfg.Requeue.HoldSec
+		if backoff := s.cfg.Requeue.HoldBackoff; backoff > 1 {
+			hold *= math.Pow(backoff, float64(rs.requeues-1))
+		}
+		s.push(event{timeSec: s.now + hold, kind: evRequeue, idx: idx})
+	}
+	return s.afterRelease(shares)
+}
+
+// afterRelease completes any drains the freed shares were blocking.
+func (s *Simulator) afterRelease(shares []cluster.NodeShare) error {
+	for _, sh := range shares {
+		if err := s.completeDrain(sh.Node); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// onRequeue returns a held job to its pending queue after the backoff hold.
+func (s *Simulator) onRequeue(idx int) {
+	if s.cfg.Policy.MultiGPUPriority && s.specs[idx].NumGPUs > 1 {
+		s.pendMulti = append(s.pendMulti, idx)
+	} else {
+		s.pendSingle = append(s.pendSingle, idx)
+	}
+	s.pendingN++
+	if s.pendingN > s.stats.MaxQueueLen {
+		s.stats.MaxQueueLen = s.pendingN
+	}
+	// The cached blocked verdict (if any) belongs to the previous attempt.
+	s.blockedEpoch[idx] = 0
+}

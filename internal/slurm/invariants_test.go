@@ -5,6 +5,8 @@ import (
 	"sort"
 	"testing"
 
+	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/workload"
 )
@@ -237,4 +239,79 @@ func TestFeasibleGate(t *testing.T) {
 		t.Fatalf("completed %d of %d accepted jobs", st.Completed, len(ok))
 	}
 	auditResults(t, cfg, ok, results)
+}
+
+// TestSchedulerInvariantsUnderFailureStorms runs randomized crash/drain/repair
+// storms over a contended workload and checks conservation end to end: no
+// double-free (any Release error aborts the run), no lost capacity after the
+// final repair, and drain completion — the run never ends with jobs pending
+// while retries remain. The per-interval WaitSec/EndSec identities of
+// auditResults do not hold for requeued jobs, so the storm audit works from
+// the cluster's own invariant checker plus the completion accounting.
+func TestSchedulerInvariantsUnderFailureStorms(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4, 5}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Cluster.Nodes = 6
+			cfg.AuditPlacement = true
+			cfg.Faults = faults.Plan{
+				NodeCrashMTBFHours: 24,
+				NodeDrainMTBFHours: 48,
+				MeanRepairHours:    2,
+				GPUFatalMTBFHours:  50,
+			}
+			cfg.FaultSeed = seed
+			cfg.Requeue = RequeuePolicy{MaxRetries: 20, HoldSec: 60, HoldBackoff: 2}
+			specs := contended(t, seed, cfg)
+
+			sim, err := NewSimulator(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results, st, err := sim.Run(specs)
+			if err != nil {
+				t.Fatalf("storm run failed (drain did not complete): %v", err)
+			}
+			if st.NodeCrashes == 0 || st.NodeDrains == 0 || st.GPUFatals == 0 {
+				t.Fatalf("storm too quiet: %d crashes, %d drains, %d fatals",
+					st.NodeCrashes, st.NodeDrains, st.GPUFatals)
+			}
+			// Every job is accounted for: completed or abandoned, never lost.
+			if st.Completed+st.JobsAbandoned != len(specs) {
+				t.Fatalf("completed %d + abandoned %d != %d jobs",
+					st.Completed, st.JobsAbandoned, len(specs))
+			}
+			if st.Completed != len(results) {
+				t.Fatalf("stats completed %d != %d results", st.Completed, len(results))
+			}
+			// Capacity conservation after the storm: every outage that fired
+			// was repaired, every node is back up, and the free pool equals
+			// the full machine — nothing double-freed, nothing leaked.
+			for n := 0; n < cfg.Cluster.Nodes; n++ {
+				if s := sim.cluster.NodeState(n); s != cluster.NodeUp {
+					t.Fatalf("node %d still %v after drain", n, s)
+				}
+			}
+			if free, total := sim.cluster.FreeGPUs(), cfg.Cluster.TotalGPUs(); free != total {
+				t.Fatalf("free GPUs %d != total %d after full repair", free, total)
+			}
+			if sim.cluster.LiveAllocations() != 0 {
+				t.Fatalf("%d allocations survive the drain", sim.cluster.LiveAllocations())
+			}
+			if err := sim.cluster.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			// Requeued jobs still satisfy the weak result identities: waits
+			// non-negative and every completed job's interval well-formed.
+			for _, res := range results {
+				if res.WaitSec < 0 || res.EndSec <= res.StartSec {
+					t.Fatalf("job %d: malformed result %+v", res.JobID, res)
+				}
+			}
+		})
+	}
 }

@@ -15,9 +15,11 @@ package slurm
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/monitor"
 	"repro/internal/trace"
@@ -68,6 +70,18 @@ type Config struct {
 	// the cluster invariants after each grant. Test/debug only — it restores
 	// the full node scan the capacity index exists to avoid.
 	AuditPlacement bool
+	// Faults injects seeded failures (node crashes, drains, per-GPU fatal
+	// errors). The zero plan disables injection entirely and leaves every
+	// simulation byte-identical to a fault-free run.
+	Faults faults.Plan
+	// FaultSeed seeds the failure streams, independently of MonitorSeed.
+	FaultSeed uint64
+	// Requeue governs recovery of jobs killed by injected failures.
+	Requeue RequeuePolicy
+	// MonitorFaults degrades the collectors on the listed nodes (requires
+	// Monitor), so collector faults and cluster faults can run in the same
+	// experiment.
+	MonitorFaults monitor.FaultPlan
 }
 
 // DefaultConfig returns a paper-shaped configuration without monitoring.
@@ -76,6 +90,7 @@ func DefaultConfig() Config {
 		Cluster:    cluster.SupercloudConfig(),
 		Policy:     DefaultPolicy(),
 		PowerModel: gpu.DefaultPowerModel(),
+		Requeue:    DefaultRequeuePolicy(),
 	}
 }
 
@@ -91,6 +106,12 @@ type Result struct {
 	// post-hoc audits (the scheduler-invariant property tests) can verify
 	// capacity conservation from results alone.
 	Shares []cluster.NodeShare
+	// Requeues counts how many times injected failures killed and requeued
+	// the job before the final successful attempt.
+	Requeues int
+	// LostSec is the wall time its failed attempts destroyed (after
+	// checkpoint credit).
+	LostSec float64
 }
 
 // Stats aggregates a run.
@@ -105,6 +126,19 @@ type Stats struct {
 	SchedulePasses int64 // queue scans triggered by events
 	AllocAttempts  int64 // TryAllocate calls issued by the policy loop
 	AllocCacheHits int64 // pending jobs skipped via the blocked-verdict cache
+	// Fault-injection and recovery outcomes (all zero without a fault plan).
+	NodeCrashes       int
+	NodeDrains        int
+	NodeRepairs       int
+	GPUFatals         int
+	Requeues          int
+	JobsAbandoned     int     // jobs dropped after exhausting retries
+	LostGPUHours      float64 // work destroyed by kills, after checkpoint credit
+	RecoveredGPUHours float64 // checkpointed work carried across attempts
+	DownGPUHours      float64 // integral of down-node GPU capacity over time
+	// Collector-fault outcomes from the monitoring pipeline.
+	MonitorDropped int64
+	MonitorStalled int
 }
 
 // MeanGPUOccupancy returns busy-GPU-hours over capacity-hours.
@@ -115,12 +149,31 @@ func (s Stats) MeanGPUOccupancy() float64 {
 	return s.GPUBusyHours / (s.HorizonSec / 3600 * float64(s.TotalGPUs))
 }
 
+// Availability returns the mean fraction of GPU capacity in service over the
+// run: 1 − down-GPU-hours over capacity-hours.
+func (s Stats) Availability() float64 {
+	if s.HorizonSec <= 0 || s.TotalGPUs == 0 {
+		return 1
+	}
+	return 1 - s.DownGPUHours/(s.HorizonSec/3600*float64(s.TotalGPUs))
+}
+
+// GoodputFraction returns the fraction of busy GPU-hours that survived as
+// retained work: 1 − destroyed work over busy time.
+func (s Stats) GoodputFraction() float64 {
+	if s.GPUBusyHours <= 0 {
+		return 1
+	}
+	return 1 - s.LostGPUHours/s.GPUBusyHours
+}
+
 // event is a simulation event.
 type event struct {
 	timeSec float64
 	kind    eventKind
-	idx     int // spec index (submit) or job index (finish)
+	idx     int // spec index (submit/finish/fatal/requeue) or node index
 	seq     int // tie-break for determinism
+	arg     int // attempt stamp: kills invalidate in-flight finish/fatal events
 }
 
 type eventKind int
@@ -128,10 +181,35 @@ type eventKind int
 const (
 	evSubmit eventKind = iota
 	evFinish
+	evNodeFault
+	evNodeRepair
+	evJobFatal
+	evRequeue
 )
 
-// eventHeap orders events by time, then kind (finishes before submits at
-// equal times so resources free up first), then sequence.
+// rank orders same-instant events: capacity returns (finishes, repairs)
+// before capacity leaves (node faults, job kills), and both before the queue
+// grows (requeues, submits) — so each scheduling pass sees settled cluster
+// state. For the fault-free kinds this reduces to the original
+// finishes-before-submits rule, keeping fault-free runs byte-identical.
+func (k eventKind) rank() int {
+	switch k {
+	case evFinish:
+		return 0
+	case evNodeRepair:
+		return 1
+	case evNodeFault:
+		return 2
+	case evJobFatal:
+		return 3
+	case evRequeue:
+		return 4
+	default: // evSubmit
+		return 5
+	}
+}
+
+// eventHeap orders events by time, then kind rank, then sequence.
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
@@ -139,8 +217,8 @@ func (h eventHeap) Less(a, b int) bool {
 	if h[a].timeSec != h[b].timeSec {
 		return h[a].timeSec < h[b].timeSec
 	}
-	if h[a].kind != h[b].kind {
-		return h[a].kind == evFinish
+	if ra, rb := h[a].kind.rank(), h[b].kind.rank(); ra != rb {
+		return ra < rb
 	}
 	return h[a].seq < h[b].seq
 }
@@ -185,6 +263,18 @@ type Simulator struct {
 	busyGPUs  int
 	lastTick  float64
 	telemetry *Telemetry
+
+	// Fault-injection state, allocated only when cfg.Faults is non-empty so
+	// the fault-free hot path carries no extra work.
+	faultsOn  bool
+	injector  *faults.Injector
+	nodeFault []faults.NodeEvent // the one outstanding outage per node
+	runState  []jobRun
+	specIdx   map[int64]int
+	liveJobs  int // jobs not yet completed or abandoned
+	downGPUs  int // mirrors cluster.DownGPUs for the time integral
+	ckptEvery float64
+	ckptCats  [trace.NumCategories]bool
 }
 
 // NewSimulator builds a simulator.
@@ -212,6 +302,12 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 			return nil, err
 		}
 	}
+	if len(cfg.MonitorFaults) > 0 {
+		if s.pipe == nil {
+			return nil, fmt.Errorf("slurm: monitor faults require monitoring")
+		}
+		s.pipe.InjectFaults(cfg.MonitorFaults)
+	}
 	return s, nil
 }
 
@@ -219,6 +315,18 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 // aggregate stats. Specs must be sorted by SubmitSec (as GenerateSpecs
 // produces them).
 func (s *Simulator) Run(specs []workload.JobSpec) (map[int64]*Result, Stats, error) {
+	return s.RunContext(context.Background(), specs)
+}
+
+// ctxCheckInterval is how many events RunContext processes between context
+// checks — frequent enough that cancellation lands promptly, cheap enough
+// that the hot loop doesn't feel it.
+const ctxCheckInterval = 1024
+
+// RunContext is Run with cooperative cancellation: the event loop polls
+// ctx.Err() every ctxCheckInterval events, so engine.Run's cancellation stops
+// an in-flight simulation instead of only skipping future replicates.
+func (s *Simulator) RunContext(ctx context.Context, specs []workload.JobSpec) (map[int64]*Result, Stats, error) {
 	s.specs = specs
 	n := len(specs)
 	s.results = make(map[int64]*Result, n)
@@ -233,7 +341,18 @@ func (s *Simulator) Run(specs []workload.JobSpec) (map[int64]*Result, Stats, err
 		s.seq++
 	}
 	heap.Init(&s.events)
+	// After the heap exists: setupFaults pushes each node's first outage.
+	if err := s.setupFaults(); err != nil {
+		return nil, s.stats, err
+	}
+	processed := 0
 	for s.events.Len() > 0 {
+		if processed%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, s.stats, fmt.Errorf("slurm: run canceled after %d events: %w", processed, err)
+			}
+		}
+		processed++
 		e := heap.Pop(&s.events).(event)
 		s.advance(e.timeSec)
 		switch e.kind {
@@ -248,15 +367,29 @@ func (s *Simulator) Run(specs []workload.JobSpec) (map[int64]*Result, Stats, err
 				s.stats.MaxQueueLen = s.pendingN
 			}
 		case evFinish:
-			if err := s.finish(e.idx); err != nil {
+			if err := s.finish(e); err != nil {
 				return nil, s.stats, err
 			}
+		case evNodeFault:
+			if err := s.onNodeFault(e.idx); err != nil {
+				return nil, s.stats, err
+			}
+		case evNodeRepair:
+			if err := s.onNodeRepair(e.idx); err != nil {
+				return nil, s.stats, err
+			}
+		case evJobFatal:
+			if err := s.onJobFatal(e); err != nil {
+				return nil, s.stats, err
+			}
+		case evRequeue:
+			s.onRequeue(e.idx)
 		}
 		if err := s.schedule(); err != nil {
 			return nil, s.stats, err
 		}
 		if s.telemetry != nil {
-			s.telemetry.record(s.now, s.busyGPUs, s.pendingN)
+			s.telemetry.record(s.now, s.busyGPUs, s.pendingN, s.downGPUs)
 		}
 	}
 	if s.pendingN > 0 {
@@ -267,6 +400,8 @@ func (s *Simulator) Run(specs []workload.JobSpec) (map[int64]*Result, Stats, err
 	s.stats.TotalGPUs = s.cfg.Cluster.TotalGPUs()
 	if s.pipe != nil {
 		s.stats.MonitorOverflow = s.pipe.Overflows()
+		s.stats.MonitorDropped = s.pipe.DroppedSamples()
+		s.stats.MonitorStalled = s.pipe.StalledJobs()
 	}
 	return s.results, s.stats, nil
 }
@@ -341,12 +476,16 @@ func (s *Simulator) push(e event) {
 	heap.Push(&s.events, e)
 }
 
-// advance moves simulated time forward, integrating GPU busy time.
+// advance moves simulated time forward, integrating GPU busy time and
+// down-node capacity loss.
 func (s *Simulator) advance(t float64) {
 	if t < s.now {
 		t = s.now
 	}
 	s.stats.GPUBusyHours += float64(s.busyGPUs) * (t - s.lastTick) / 3600
+	if s.downGPUs > 0 {
+		s.stats.DownGPUHours += float64(s.downGPUs) * (t - s.lastTick) / 3600
+	}
 	s.lastTick = t
 	s.now = t
 }
@@ -487,8 +626,9 @@ func (s *Simulator) compactQueue(q []int) []int {
 	return out
 }
 
-// start begins execution of a granted job: records the result, runs the
-// prolog, and schedules the finish event.
+// start begins execution of a granted job attempt: records the result, runs
+// the prolog, and schedules the finish event — plus, under a fault plan, any
+// fatal error drawn against the attempt.
 func (s *Simulator) start(idx int, alloc *cluster.Allocation) {
 	sp := &s.specs[idx]
 	res := &Result{
@@ -499,6 +639,23 @@ func (s *Simulator) start(idx int, alloc *cluster.Allocation) {
 		NodeSpan: alloc.NodeSpan(),
 		GPUs:     alloc.GPUs(),
 		Shares:   append([]cluster.NodeShare(nil), alloc.Shares...),
+	}
+	finishEv := event{timeSec: res.EndSec, kind: evFinish, idx: idx}
+	if s.faultsOn {
+		rs := &s.runState[idx]
+		rs.running = true
+		// Queue wait excludes wall time consumed by earlier failed attempts.
+		res.WaitSec -= rs.busySec
+		dur := sp.RunSec - rs.doneSec
+		if rs.doneSec > 0 {
+			dur += s.cfg.Requeue.Checkpoint.RestartSec
+		}
+		res.EndSec = s.now + dur
+		finishEv.timeSec = res.EndSec
+		finishEv.arg = rs.attempt
+		if off, ok := faults.AttemptFatal(s.cfg.Faults, s.cfg.FaultSeed, sp.ID, rs.attempt, len(res.GPUs), dur); ok {
+			s.push(event{timeSec: s.now + off, kind: evJobFatal, idx: idx, arg: rs.attempt})
+		}
 	}
 	s.results[sp.ID] = res
 	s.busyGPUs += len(res.GPUs)
@@ -514,12 +671,26 @@ func (s *Simulator) start(idx int, alloc *cluster.Allocation) {
 		s.monitors[sp.ID] = s.pipe.Prolog(sp.ID, node, s.cfg.Cluster.GPUSpec,
 			s.cfg.PowerModel, sources, s.cfg.DetailedJobs[sp.ID])
 	}
-	s.push(event{timeSec: res.EndSec, kind: evFinish, idx: idx})
+	s.push(finishEv)
 }
 
-// finish releases a completed job and runs the epilog.
-func (s *Simulator) finish(idx int) error {
+// finish releases a completed job and runs the epilog. Under a fault plan it
+// drops stale finish events (the attempt was killed first) and completes any
+// node drain the release unblocks.
+func (s *Simulator) finish(e event) error {
+	idx := e.idx
 	sp := &s.specs[idx]
+	if s.faultsOn {
+		rs := &s.runState[idx]
+		if !rs.running || rs.attempt != e.arg {
+			return nil // stale: this attempt was killed before it finished
+		}
+		rs.running = false
+		res := s.results[sp.ID]
+		res.Requeues = rs.requeues
+		res.LostSec = rs.lostSec
+	}
+	s.liveJobs--
 	res := s.results[sp.ID]
 	s.busyGPUs -= len(res.GPUs)
 	if err := s.cluster.Release(sp.ID); err != nil {
@@ -532,6 +703,9 @@ func (s *Simulator) finish(idx int) error {
 			return err
 		}
 		delete(s.monitors, sp.ID)
+	}
+	if s.faultsOn {
+		return s.afterRelease(res.Shares)
 	}
 	return nil
 }
@@ -562,6 +736,9 @@ func (s *Simulator) BuildDataset(specs []workload.JobSpec, results map[int64]*Re
 			CoresPerGPU: sp.CoresPerGPU,
 			Cores:       sp.Cores,
 			MemGB:       sp.MemGB,
+
+			Requeues:       res.Requeues,
+			FailureLossSec: res.LostSec,
 		}
 		rec.HostCPU = hostModel.HostLoadDigest(sp)
 		if sp.IsGPU() {

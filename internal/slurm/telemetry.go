@@ -12,6 +12,9 @@ type TelemetryPoint struct {
 	TimeSec  float64
 	BusyGPUs int
 	QueueLen int
+	// DownGPUs is the capacity lost to node outages at this instant (always
+	// zero without a fault plan).
+	DownGPUs int
 }
 
 // Telemetry accumulates the cluster-state series of a run when enabled via
@@ -38,14 +41,15 @@ func (s *Simulator) EnableTelemetry(maxPoints int) *Telemetry {
 }
 
 // record appends a state sample, thinning when over budget.
-func (t *Telemetry) record(timeSec float64, busyGPUs, queueLen int) {
+func (t *Telemetry) record(timeSec float64, busyGPUs, queueLen, downGPUs int) {
 	if n := len(t.Points); n > 0 && t.Points[n-1].TimeSec == timeSec {
 		// Collapse same-instant event batches into their final state.
 		t.Points[n-1].BusyGPUs = busyGPUs
 		t.Points[n-1].QueueLen = queueLen
+		t.Points[n-1].DownGPUs = downGPUs
 		return
 	}
-	t.Points = append(t.Points, TelemetryPoint{TimeSec: timeSec, BusyGPUs: busyGPUs, QueueLen: queueLen})
+	t.Points = append(t.Points, TelemetryPoint{TimeSec: timeSec, BusyGPUs: busyGPUs, QueueLen: queueLen, DownGPUs: downGPUs})
 	if len(t.Points) >= t.maxPoints {
 		kept := t.Points[:0]
 		for i := 0; i < len(t.Points); i += 2 {
@@ -53,6 +57,27 @@ func (t *Telemetry) record(timeSec float64, busyGPUs, queueLen int) {
 		}
 		t.Points = kept
 	}
+}
+
+// AvailabilityMean returns the time-weighted mean fraction of GPU capacity
+// in service over the recorded window.
+func (t *Telemetry) AvailabilityMean(totalGPUs int) float64 {
+	if len(t.Points) < 2 || totalGPUs == 0 {
+		return 1
+	}
+	var weighted, total float64
+	for i := 1; i < len(t.Points); i++ {
+		dur := t.Points[i].TimeSec - t.Points[i-1].TimeSec
+		if dur <= 0 {
+			continue
+		}
+		weighted += dur * float64(totalGPUs-t.Points[i-1].DownGPUs)
+		total += dur
+	}
+	if total == 0 {
+		return 1
+	}
+	return weighted / (total * float64(totalGPUs))
 }
 
 // PeakQueueLen returns the largest observed queue depth.

@@ -69,7 +69,7 @@ func TestTelemetryQueueDepth(t *testing.T) {
 func TestTelemetryThinning(t *testing.T) {
 	tel := &Telemetry{maxPoints: 1024}
 	for i := 0; i < 5000; i++ {
-		tel.record(float64(i), i%16, 0)
+		tel.record(float64(i), i%16, 0, 0)
 	}
 	if len(tel.Points) >= 1024 {
 		t.Fatalf("thinning failed: %d points", len(tel.Points))
@@ -84,8 +84,8 @@ func TestTelemetryThinning(t *testing.T) {
 
 func TestTelemetrySameInstantCollapse(t *testing.T) {
 	tel := &Telemetry{maxPoints: 1024}
-	tel.record(10, 1, 5)
-	tel.record(10, 3, 2)
+	tel.record(10, 1, 5, 0)
+	tel.record(10, 3, 2, 0)
 	if len(tel.Points) != 1 {
 		t.Fatalf("same-instant events not collapsed: %d points", len(tel.Points))
 	}

@@ -23,6 +23,7 @@ func csvHeader() []string {
 		h = append(h, m.String()+"_min", m.String()+"_mean", m.String()+"_max")
 	}
 	h = append(h, "hostcpu_min", "hostcpu_mean", "hostcpu_max")
+	h = append(h, "requeues", "failure_loss_sec")
 	return h
 }
 
@@ -39,7 +40,7 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 	if err := cw.Write(csvHeader()); err != nil {
 		return fmt.Errorf("trace: writing csv header: %w", err)
 	}
-	row := make([]string, 0, 12+3*int(metrics.NumMetrics))
+	row := make([]string, 0, 17+3*int(metrics.NumMetrics))
 	for i := range d.Jobs {
 		j := &d.Jobs[i]
 		row = row[:0]
@@ -58,6 +59,7 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 			row = append(row, fmtF(j.GPU[m].Min), fmtF(j.GPU[m].Mean), fmtF(j.GPU[m].Max))
 		}
 		row = append(row, fmtF(j.HostCPU.Min), fmtF(j.HostCPU.Mean), fmtF(j.HostCPU.Max))
+		row = append(row, strconv.Itoa(j.Requeues), fmtF(j.FailureLossSec))
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("trace: writing job %d: %w", j.JobID, err)
 		}
@@ -142,6 +144,9 @@ func parseCSVRow(rec []string) (JobRecord, error) {
 		col += 3
 	}
 	j.HostCPU = metrics.SummaryRecord{Min: getf(rec[col]), Mean: getf(rec[col+1]), Max: getf(rec[col+2])}
+	col += 3
+	j.Requeues = geti(rec[col])
+	j.FailureLossSec = getf(rec[col+1])
 	if err != nil {
 		return j, err
 	}

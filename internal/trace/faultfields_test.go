@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFaultFieldsRoundTrip pins the requeue/failure-loss columns through
+// both codecs: a record carrying recovery telemetry must come back with the
+// same values from CSV and from JSON.
+func TestFaultFieldsRoundTrip(t *testing.T) {
+	d := NewDataset(1)
+	j := gpuJob(1, 0, 600, 2)
+	j.Requeues = 3
+	j.FailureLossSec = 512.25
+	d.Add(j)
+	d.Add(cpuJob(2, 1, 120)) // zero-valued fault fields must survive too
+
+	var csvBuf, jsonBuf bytes.Buffer
+	if err := d.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	fromCSV, err := ReadCSV(bytes.NewReader(csvBuf.Bytes()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := ReadJSON(bytes.NewReader(jsonBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range []*Dataset{fromCSV, fromJSON} {
+		if got := ds.Jobs[0]; got.Requeues != 3 || got.FailureLossSec != 512.25 {
+			t.Fatalf("fault fields lost in round trip: requeues=%d loss=%v", got.Requeues, got.FailureLossSec)
+		}
+		if got := ds.Jobs[1]; got.Requeues != 0 || got.FailureLossSec != 0 {
+			t.Fatalf("zero fault fields corrupted: requeues=%d loss=%v", got.Requeues, got.FailureLossSec)
+		}
+	}
+}
+
+// TestCodecsRejectNegativeFaultFieldsIdentically extends the codec-agreement
+// contract to the recovery telemetry: a negative requeue count or failure
+// loss is rejected by BOTH writers with the same record-level error, so a
+// dataset cannot round-trip through one codec and not the other.
+func TestCodecsRejectNegativeFaultFieldsIdentically(t *testing.T) {
+	mutations := map[string]func(*JobRecord){
+		"negative-requeues": func(j *JobRecord) { j.Requeues = -1 },
+		"negative-loss":     func(j *JobRecord) { j.FailureLossSec = -0.5 },
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			d := NewDataset(1)
+			j := gpuJob(1, 0, 600, 1)
+			mutate(&j)
+			d.Add(j)
+			var csvBuf, jsonBuf bytes.Buffer
+			csvErr := d.WriteCSV(&csvBuf)
+			jsonErr := d.WriteJSON(&jsonBuf)
+			if csvErr == nil || jsonErr == nil {
+				t.Fatalf("negative fault field accepted: csv err=%v, json err=%v", csvErr, jsonErr)
+			}
+			if csvErr.Error() != jsonErr.Error() {
+				t.Fatalf("codecs diverge on rejection:\ncsv:  %v\njson: %v", csvErr, jsonErr)
+			}
+		})
+	}
+}
+
+// TestReadCSVRejectsNegativeFaultLiterals ensures hand-edited traces with
+// negative recovery telemetry are refused on the read path as well.
+func TestReadCSVRejectsNegativeFaultLiterals(t *testing.T) {
+	for _, bad := range []string{"-1", "-0.5"} {
+		d := NewDataset(1)
+		j := gpuJob(1, 0, 600, 1)
+		j.Requeues = 31337 // sentinel: requeues then failure_loss_sec
+		j.FailureLossSec = 31338
+		d.Add(j)
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		for _, sentinel := range []string{"31337", "31338"} {
+			corrupted := bytes.Replace(buf.Bytes(), []byte(sentinel), []byte(bad), 1)
+			if _, err := ReadCSV(bytes.NewReader(corrupted), 1); err == nil {
+				t.Fatalf("CSV with %s=%q was accepted", sentinel, bad)
+			}
+		}
+	}
+}

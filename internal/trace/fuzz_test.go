@@ -26,6 +26,23 @@ func nonFiniteCSVSeed(f *testing.F, bad string) []byte {
 	return bytes.Replace(buf.Bytes(), []byte("31337"), []byte(bad), 1)
 }
 
+// negativeFaultCSVSeed renders a valid dataset to CSV and corrupts one of
+// the recovery-telemetry columns (requeues, failure_loss_sec) with a
+// negative literal. Both readers must reject it, or the round-trip fixed
+// point below breaks when one codec writes what the other refuses.
+func negativeFaultCSVSeed(f *testing.F, bad string) []byte {
+	f.Helper()
+	d := NewDataset(1)
+	j := gpuJob(1, 0, 600, 1)
+	j.Requeues = 31337 // sentinel to replace
+	d.Add(j)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return bytes.Replace(buf.Bytes(), []byte("31337"), []byte(bad), 1)
+}
+
 // FuzzReadCSV: arbitrary bytes must never panic the CSV reader; valid
 // round-trips must reproduce their input record count.
 func FuzzReadCSV(f *testing.F) {
@@ -75,6 +92,11 @@ func FuzzDatasetRoundTrip(f *testing.F) {
 	// read and the write path (WriteJSON cannot represent them).
 	for _, bad := range []string{"NaN", "+Inf", "-Inf", "Infinity"} {
 		f.Add(nonFiniteCSVSeed(f, bad))
+	}
+	// Negative recovery telemetry: Validate must refuse these on both the
+	// read and the write path, exactly like the non-finite spellings.
+	for _, bad := range []string{"-1", "-3.5"} {
+		f.Add(negativeFaultCSVSeed(f, bad))
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ds, err := ReadCSV(bytes.NewReader(data), 1)

@@ -137,6 +137,13 @@ type JobRecord struct {
 	// HostCPU is the 10-second-cadence host-CPU utilization digest (§II's
 	// CPU time series), as a percentage of the job's requested cores.
 	HostCPU metrics.SummaryRecord
+
+	// Requeues counts how many times failures killed and requeued the job
+	// before it completed; zero in a fault-free trace.
+	Requeues int
+	// FailureLossSec is the wall time destroyed by those failed attempts
+	// (after any checkpoint credit).
+	FailureLossSec float64
 }
 
 // IsGPU reports whether the job requested any GPU.
@@ -189,8 +196,12 @@ func (j *JobRecord) Validate() error {
 		return fmt.Errorf("trace: job %d: negative GPU count", j.JobID)
 	case j.NumGPUs > 0 && len(j.PerGPU) > 0 && len(j.PerGPU) != j.NumGPUs:
 		return fmt.Errorf("trace: job %d: %d GPU summaries for %d GPUs", j.JobID, len(j.PerGPU), j.NumGPUs)
+	case j.Requeues < 0:
+		return fmt.Errorf("trace: job %d: negative requeue count", j.JobID)
+	case j.FailureLossSec < 0:
+		return fmt.Errorf("trace: job %d: negative failure loss", j.JobID)
 	}
-	if !finite(j.SubmitSec, j.WaitSec, j.RunSec, j.LimitSec, j.MemGB) {
+	if !finite(j.SubmitSec, j.WaitSec, j.RunSec, j.LimitSec, j.MemGB, j.FailureLossSec) {
 		return fmt.Errorf("trace: job %d: non-finite scheduler field", j.JobID)
 	}
 	if !summaryFinite(j.HostCPU) {
