@@ -1,0 +1,185 @@
+// Command simlint is the project's static-analysis gate: a multichecker
+// assembling the determinism/correctness analyzers in internal/lint (see
+// that package's doc for the invariant each one guards) over the module
+// tree. `make lint` runs it after go vet; `make check` therefore fails on
+// the first finding.
+//
+// Usage:
+//
+//	simlint [-only a,b] [-skip a,b] [-list] [packages...]
+//
+// Package arguments are module-relative directories ("./internal/slurm") or
+// "..."-suffixed subtrees; with none given the whole module is checked.
+// Exit status is 1 when findings remain after //lint:allow filtering, 2 on
+// usage or load errors.
+//
+// Suppress a finding by putting, on the flagged line or the line above:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory, the analyzer name must exist, and a suppression
+// matching no finding is itself reported — allow-comments cannot rot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzers to run (default: all default-enabled)")
+	skip := fs.String("skip", "", "comma-separated analyzers to disable")
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.All() {
+			def := " "
+			if a.Default {
+				def = "*"
+			}
+			fmt.Fprintf(stdout, "%s %-12s %s\n", def, a.Name, a.Doc)
+		}
+		fmt.Fprintln(stdout, "(* = runs by default)")
+		return 0
+	}
+
+	analyzers, err := lint.Select(*only, *skip)
+	if err != nil {
+		fmt.Fprintln(stderr, "simlint:", err)
+		return 2
+	}
+	if len(analyzers) == 0 {
+		fmt.Fprintln(stderr, "simlint: no analyzers selected")
+		return 2
+	}
+
+	modRoot, modPath, err := findModule()
+	if err != nil {
+		fmt.Fprintln(stderr, "simlint:", err)
+		return 2
+	}
+	paths, err := resolvePatterns(fs.Args(), modRoot, modPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "simlint:", err)
+		return 2
+	}
+
+	loader := lint.NewLoader(modRoot, modPath)
+	known := lint.KnownNames()
+	findings := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "simlint:", err)
+			return 2
+		}
+		diags, err := lint.Run(pkg, analyzers, known)
+		if err != nil {
+			fmt.Fprintln(stderr, "simlint:", err)
+			return 2
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			rel, relErr := filepath.Rel(modRoot, pos.Filename)
+			if relErr != nil {
+				rel = pos.Filename
+			}
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", rel, pos.Line, pos.Column, d.Analyzer, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "simlint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// findModule walks up from the working directory to the enclosing go.mod
+// and returns its directory and module path.
+func findModule() (root, path string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			m := moduleRe.FindSubmatch(data)
+			if m == nil {
+				return "", "", fmt.Errorf("no module line in %s/go.mod", dir)
+			}
+			return dir, string(m[1]), nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+var moduleRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// resolvePatterns expands the command-line package patterns to import
+// paths. No arguments (or "./...") means the whole module.
+func resolvePatterns(args []string, modRoot, modPath string) ([]string, error) {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	all, err := lint.ModulePackages(modRoot, modPath)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, arg := range args {
+		tree := strings.HasSuffix(arg, "/...")
+		arg = strings.TrimSuffix(arg, "/...")
+		if arg == "." || arg == "" {
+			if tree {
+				for _, p := range all {
+					add(p)
+				}
+				continue
+			}
+			add(modPath)
+			continue
+		}
+		rel := filepath.ToSlash(filepath.Clean(arg))
+		rel = strings.TrimPrefix(rel, "./")
+		want := modPath + "/" + rel
+		matched := false
+		for _, p := range all {
+			if p == want || (tree && strings.HasPrefix(p, want+"/")) {
+				add(p)
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matches no packages", arg)
+		}
+	}
+	return out, nil
+}

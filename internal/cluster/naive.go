@@ -10,6 +10,8 @@ package cluster
 
 // naivePlan computes the shares the pre-index algorithm would grant for req,
 // or the error it would return, without mutating any cluster state.
+//
+// Mirrors: tryAllocate.
 func (c *Cluster) naivePlan(req Request) ([]NodeShare, error) {
 	if req.GPUs > 0 && req.Exclusive {
 		return c.naivePlanExclusiveGPU(req)
@@ -38,6 +40,8 @@ func deviceFreeGPUs(n *Node) int {
 // nodes, insertion-sort best-fit (job fits one node) or widest-first (job
 // spans nodes), then walk taking the per-node clamp of GPUs, cores and
 // memory.
+//
+// Mirrors: allocateGPUJob.
 func (c *Cluster) naivePlanGPU(req Request) ([]NodeShare, error) {
 	type candidate struct {
 		node     *Node
@@ -137,6 +141,8 @@ func (c *Cluster) naivePlanGPU(req Request) ([]NodeShare, error) {
 
 // naiveIdleNodes is the pre-index idleNodes scan: up to want fully idle
 // nodes in ascending index order.
+//
+// Mirrors: takeIdleNodes.
 func (c *Cluster) naiveIdleNodes(want int) []*Node {
 	var free []*Node
 	for _, n := range c.nodes {
@@ -154,6 +160,8 @@ func (c *Cluster) naiveIdleNodes(want int) []*Node {
 
 // naivePlanExclusiveCPU is the pre-index allocateExclusiveCPUJob plus the
 // AvoidGPUNodes reservation guard.
+//
+// Mirrors: allocateExclusiveCPUJob.
 func (c *Cluster) naivePlanExclusiveCPU(req Request) ([]NodeShare, error) {
 	if req.AvoidGPUNodes && c.cfg.GPUsPerNode > 0 {
 		return nil, ErrInsufficient{Req: req}
@@ -174,6 +182,8 @@ func (c *Cluster) naivePlanExclusiveCPU(req Request) ([]NodeShare, error) {
 }
 
 // naivePlanExclusiveGPU is the pre-index allocateExclusiveGPUJob.
+//
+// Mirrors: allocateExclusiveGPUJob.
 func (c *Cluster) naivePlanExclusiveGPU(req Request) ([]NodeShare, error) {
 	perNode := c.cfg.GPUsPerNode
 	if perNode < 1 {
@@ -202,6 +212,8 @@ func (c *Cluster) naivePlanExclusiveGPU(req Request) ([]NodeShare, error) {
 
 // naivePlanSharedCPU is the pre-index allocateSharedCPUJob (first-fit over
 // all nodes in index order) plus the AvoidGPUNodes reservation guard.
+//
+// Mirrors: allocateSharedCPUJob.
 func (c *Cluster) naivePlanSharedCPU(req Request) ([]NodeShare, error) {
 	var shares []NodeShare
 	coresLeft, memLeft := req.Cores, req.MemGB

@@ -134,9 +134,33 @@ func naiveByInterface(ds *trace.Dataset) InterfaceResult {
 	return r
 }
 
+// sortedSeriesIDs returns the monitored job ids in ascending order. The spec
+// iterates maps in sorted-key order so its determinism is visible on the
+// page (and to simlint's maporder analyzer) rather than resting on the
+// downstream CDF constructors happening to sort.
+func sortedSeriesIDs(ds *trace.Dataset) []int64 {
+	ids := make([]int64, 0, len(ds.Series))
+	for id := range ds.Series {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+// sortedUsers returns byUser's keys in ascending order; see sortedSeriesIDs.
+func sortedUsers(byUser map[int][]*trace.JobRecord) []int {
+	users := make([]int, 0, len(byUser))
+	for u := range byUser {
+		users = append(users, u)
+	}
+	sort.Ints(users)
+	return users
+}
+
 func naivePhases(ds *trace.Dataset) PhaseResult {
 	var activePct, idleCoVs, actCoVs []float64
-	for _, ts := range ds.Series {
+	for _, id := range sortedSeriesIDs(ds) {
+		ts := ds.Series[id]
 		iv := SegmentSeries(ts)
 		if len(iv) == 0 {
 			continue
@@ -174,7 +198,8 @@ func naivePhases(ds *trace.Dataset) PhaseResult {
 
 func naiveActiveVariability(ds *trace.Dataset) ActiveVariabilityResult {
 	var smC, memC, mszC []float64
-	for _, ts := range ds.Series {
+	for _, id := range sortedSeriesIDs(ds) {
+		ts := ds.Series[id]
 		var sm, mem, msz []float64
 		for _, stream := range ts.PerGPU {
 			for _, s := range stream {
@@ -395,7 +420,8 @@ func naiveLifecycle(ds *trace.Dataset) LifecycleResult {
 func naiveUserMix(ds *trace.Dataset) UserMixResult {
 	byUser := ds.ByUser()
 	rows := make([]UserMixRow, 0, len(byUser))
-	for u, jobs := range byUser {
+	for _, u := range sortedUsers(byUser) {
+		jobs := byUser[u]
 		row := UserMixRow{User: u, Jobs: len(jobs)}
 		var hours [trace.NumCategories]float64
 		var counts [trace.NumCategories]float64
@@ -421,7 +447,8 @@ func naiveConcentration(ds *trace.Dataset) ConcentrationResult {
 	byUser := ds.ByUser()
 	var counts []float64
 	maxGPUs := map[int]int{}
-	for u, jobs := range byUser {
+	for _, u := range sortedUsers(byUser) {
+		jobs := byUser[u]
 		counts = append(counts, float64(len(jobs)))
 		for _, j := range jobs {
 			if j.NumGPUs > maxGPUs[u] {

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression comments take the form
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// and silence that one analyzer — and only that one — on the same line or
+// the line immediately below the comment. The reason is mandatory: a
+// suppression that cannot say why it exists is a finding in its own right.
+// So are an unknown analyzer name (usually a typo that would otherwise
+// silently suppress nothing) and an allow-comment that matched no finding
+// (a stale suppression left behind after the offending code was fixed).
+const allowPrefix = "//lint:allow"
+
+// allowComment is one parsed //lint:allow directive.
+type allowComment struct {
+	pos      token.Pos
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// parseAllows extracts every allow-comment from the package's non-test
+// files. Findings only arise from non-test files, so that is where the
+// suppressions live too.
+func parseAllows(pkg *Package) []*allowComment {
+	var out []*allowComment
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(c.Text, allowPrefix))
+				pos := pkg.Fset.Position(c.Pos())
+				a := &allowComment{pos: c.Pos(), file: pos.Filename, line: pos.Line}
+				if len(fields) > 0 {
+					a.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					a.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// filterAllowed drops diagnostics covered by a well-formed allow-comment and
+// appends audit diagnostics for malformed, unknown-name, or stale ones.
+// known holds every analyzer name the driver knows about (so a filtered run
+// does not mis-flag other analyzers' suppressions as unknown); executed
+// holds the ones that actually ran this invocation (staleness is only
+// auditable for those — under -only/-skip the rest report nothing, so their
+// suppressions legitimately match nothing).
+func filterAllowed(pkg *Package, diags []Diagnostic, known, executed map[string]bool) []Diagnostic {
+	allows := parseAllows(pkg)
+	if len(allows) == 0 {
+		return diags
+	}
+	type key struct {
+		file string
+		line int
+	}
+	idx := make(map[key][]*allowComment)
+	var audited []Diagnostic
+	for _, a := range allows {
+		switch {
+		case a.analyzer == "":
+			audited = append(audited, Diagnostic{Pos: a.pos, Analyzer: "allow",
+				Message: "malformed suppression: want //lint:allow <analyzer> <reason>"})
+			continue
+		case !known[a.analyzer]:
+			audited = append(audited, Diagnostic{Pos: a.pos, Analyzer: "allow",
+				Message: "unknown analyzer \"" + a.analyzer + "\" in //lint:allow (it would suppress nothing)"})
+			continue
+		case a.reason == "":
+			audited = append(audited, Diagnostic{Pos: a.pos, Analyzer: "allow",
+				Message: "//lint:allow " + a.analyzer + " needs a reason"})
+			continue
+		}
+		// An inline comment covers its own line; a standalone comment
+		// covers the next line.
+		idx[key{a.file, a.line}] = append(idx[key{a.file, a.line}], a)
+		idx[key{a.file, a.line + 1}] = append(idx[key{a.file, a.line + 1}], a)
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		suppressed := false
+		for _, a := range idx[key{pos.Filename, pos.Line}] {
+			if a.analyzer == d.Analyzer {
+				a.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, a := range allows {
+		if a.analyzer != "" && known[a.analyzer] && a.reason != "" && !a.used && executed[a.analyzer] {
+			audited = append(audited, Diagnostic{Pos: a.pos, Analyzer: "allow",
+				Message: "stale //lint:allow " + a.analyzer + ": no finding on the covered line"})
+		}
+	}
+	return append(kept, audited...)
+}
+
+// isPkgFunc reports whether the identifier resolves (via Uses) to one of the
+// named functions of the named package; with no names, any function of that
+// package matches. Several analyzers share it.
+func isPkgFunc(pass *Pass, id *ast.Ident, pkgPath string, names ...string) bool {
+	obj := pass.Info.Uses[id]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return false
+	}
+	if len(names) == 0 {
+		return true
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrSink flags discarded error returns from the trace codec and the report
+// renderers. Both packages funnel every figure and dataset through error-
+// returning calls precisely so that a non-finite value or a short write
+// fails loudly (the codecs reject NaN/±Inf identically on the CSV and JSON
+// paths); calling WriteCSV or Table.Render as a bare statement throws that
+// guarantee away and lets a truncated golden or a silently skipped figure
+// masquerade as success. Reported shapes: a call used as an expression
+// statement and a `defer`red call, when the callee belongs to
+// internal/trace or internal/report and its final result is an error.
+// Assigning the error to `_` is also reported — if the error is genuinely
+// unactionable, say why with a //lint:allow instead.
+//
+// Runtime backstop: the codec fuzz targets and golden-figure tests, which
+// can only notice a swallowed error when it corrupts bytes they happen to
+// compare.
+var ErrSink = &Analyzer{
+	Name:    "errsink",
+	Doc:     "forbid discarding errors from internal/trace codec and internal/report render calls",
+	Default: true,
+	Run:     runErrSink,
+}
+
+// errSinkPackages are the import-path suffixes whose error returns must be
+// consumed.
+var errSinkPackages = []string{"internal/trace", "internal/report"}
+
+func errSinkTarget(path string) bool {
+	for _, p := range errSinkPackages {
+		if path == p || strings.HasSuffix(path, "/"+p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runErrSink(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					reportIfSunkError(pass, call, "discarded")
+				}
+			case *ast.DeferStmt:
+				reportIfSunkError(pass, st.Call, "deferred and discarded")
+			case *ast.GoStmt:
+				reportIfSunkError(pass, st.Call, "discarded by go statement")
+			case *ast.AssignStmt:
+				reportBlankedErrors(pass, st)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// reportIfSunkError reports call if its callee is an error-returning
+// function of a guarded package.
+func reportIfSunkError(pass *Pass, call *ast.CallExpr, how string) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || !errSinkTarget(fn.Pkg().Path()) {
+		return
+	}
+	if !lastResultIsError(fn) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s error from %s.%s; handle it or justify with //lint:allow errsink",
+		how, fn.Pkg().Name(), fn.Name())
+}
+
+// reportBlankedErrors reports `_ = call` and `v, _ := call` shapes that drop
+// a guarded package's error result into the blank identifier.
+func reportBlankedErrors(pass *Pass, st *ast.AssignStmt) {
+	if len(st.Rhs) != 1 {
+		return
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || !errSinkTarget(fn.Pkg().Path()) || !lastResultIsError(fn) {
+		return
+	}
+	last, ok := st.Lhs[len(st.Lhs)-1].(*ast.Ident)
+	if !ok || last.Name != "_" {
+		return
+	}
+	pass.Reportf(st.Pos(), "error from %s.%s assigned to _; handle it or justify with //lint:allow errsink",
+		fn.Pkg().Name(), fn.Name())
+}
+
+// calleeFunc resolves a call's static callee, unwrapping selector and
+// parenthesized forms; nil for dynamic calls and builtins.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// lastResultIsError reports whether fn's final result is the error type.
+func lastResultIsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}

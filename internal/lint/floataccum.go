@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatAccum flags floating-point reductions whose accumulation order is
+// nondeterministic. Float addition is not associative — (a+b)+c and a+(b+c)
+// differ in the last ulp — so a sum folded in map-iteration order or in
+// goroutine-completion order produces run-to-run different bits, which is
+// exactly what the golden figures and the bit-identical replication merge
+// forbid. Two shapes are reported:
+//
+//  1. A compound float accumulation (`sum += x`, `sum -= x`, `prod *= x`,
+//     or `sum = sum + x`) into a variable declared outside a range-over-map
+//     loop: the fold order is the map's randomized iteration order.
+//  2. The same accumulation into a variable captured from an enclosing
+//     function inside a `go`-launched function literal: the fold order is
+//     goroutine completion order. A mutex makes this race-free but not
+//     order-stable — the fix is to write per-worker partials into distinct
+//     slots and fold them in index order, the pattern internal/engine and
+//     internal/core/parallel.go use.
+//
+// Runtime backstop: TestParallelWorkerEquivalence and the engine's
+// worker-count bit-identity tests.
+var FloatAccum = &Analyzer{
+	Name:    "floataccum",
+	Doc:     "flag float reductions ordered by map iteration or goroutine completion; fold fixed-order partials instead",
+	Default: true,
+	Run:     runFloatAccum,
+}
+
+func runFloatAccum(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.RangeStmt:
+				if isMapRange(pass, st) {
+					reportFloatAccums(pass, st.Body, st, rangeVarObj(pass, st.Key),
+						"inside range over map folds in nondeterministic iteration order; range over sorted keys")
+				}
+			case *ast.GoStmt:
+				if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+					reportFloatAccums(pass, lit.Body, lit, nil,
+						"into a captured variable folds in goroutine-completion order; accumulate per-worker partials and merge in index order")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// reportFloatAccums walks body and reports float compound accumulations into
+// variables declared outside the given extent (a range loop or a func
+// literal). A map/slice cell indexed by the loop key is exempt — each cell
+// is then touched by exactly one iteration, so visit order cannot matter.
+// Nested map-ranges and nested go-literals are left to their own visits.
+func reportFloatAccums(pass *Pass, body *ast.BlockStmt, extent ast.Node, keyObj types.Object, why string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch st.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN:
+		case token.ASSIGN:
+			// sum = sum + x
+			if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+				return true
+			}
+			bin, ok := st.Rhs[0].(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.ADD && bin.Op != token.SUB && bin.Op != token.MUL) {
+				return true
+			}
+			if !sameObject(pass, st.Lhs[0], bin.X) && !sameObject(pass, st.Lhs[0], bin.Y) {
+				return true
+			}
+		default:
+			return true
+		}
+		lhs := st.Lhs[0]
+		t := pass.Info.TypeOf(lhs)
+		if t == nil || !isFloat(t) {
+			return true
+		}
+		if indexedByKey(pass, lhs, keyObj) {
+			return true
+		}
+		base := leftmostIdent(lhs)
+		if base == nil {
+			pass.Reportf(st.Pos(), "float accumulation into %s %s", exprString(pass, lhs), why)
+			return true
+		}
+		obj := pass.Info.ObjectOf(base)
+		if obj == nil {
+			return true
+		}
+		if obj.Pos() >= extent.Pos() && obj.Pos() <= extent.End() {
+			return true // local accumulator; order within one iteration/goroutine is fixed
+		}
+		pass.Reportf(st.Pos(), "float accumulation into %s %s", exprString(pass, lhs), why)
+		return true
+	})
+}
+
+// sameObject reports whether two expressions are the same identifier object.
+func sameObject(pass *Pass, a, b ast.Expr) bool {
+	ia, ok1 := a.(*ast.Ident)
+	ib, ok2 := b.(*ast.Ident)
+	if !ok1 || !ok2 {
+		return false
+	}
+	oa := pass.Info.ObjectOf(ia)
+	return oa != nil && oa == pass.Info.ObjectOf(ib)
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

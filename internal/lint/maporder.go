@@ -1,0 +1,309 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` loops over maps whose bodies produce order-
+// dependent output: appending to a slice declared outside the loop, string-
+// concatenating into an outer variable, or writing formatted output to a
+// stream. Go randomizes map iteration order per run, so any of these makes
+// golden figures and replication merges flap. Order-independent uses — a
+// write into another map keyed by the loop key, a counter increment, a
+// min/max fold — pass untouched.
+//
+// The fix is the sorted-keys idiom used throughout the tree:
+//
+//	keys := make([]K, 0, len(m))
+//	for k := range m { keys = append(keys, k) }   // collecting keys is fine
+//	sort/slices.Sort(keys)
+//	for _, k := range keys { out = append(out, f(m[k])) }
+//
+// An append is exempt when the appended-to value is visibly re-sorted later
+// in the same function — a call after the loop to anything in package sort
+// or slices, or to a helper whose name contains "sort", taking the same
+// expression — because the sort destroys whatever order the map produced.
+// The exemption trusts the comparator to be a total order; a sort.Slice
+// whose less function has no tie-break leaves equal elements in map order
+// and is still nondeterministic, which is the reviewer's to catch.
+//
+// Float accumulation in map ranges is FloatAccum's beat, not this one's.
+//
+// Runtime backstop: the golden characterization figures and
+// TestParallelWorkerEquivalence, which catch a nondeterministic order only
+// when a run happens to draw an unlucky permutation.
+var MapOrder = &Analyzer{
+	Name:    "maporder",
+	Doc:     "flag order-dependent writes (append/concat/stream output) inside range-over-map; use the sorted-keys idiom",
+	Default: true,
+	Run:     runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Enumerate function bodies so each map range knows its enclosing
+		// function — the scope the sorted-later exemption scans.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			inFunction(body, func(rng *ast.RangeStmt) {
+				if isMapRange(pass, rng) {
+					checkMapRangeBody(pass, rng, body)
+				}
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// inFunction visits every range statement directly inside body, not
+// descending into nested function literals (they are visited as functions
+// of their own).
+func inFunction(body *ast.BlockStmt, visit func(*ast.RangeStmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.RangeStmt:
+			visit(st)
+		}
+		return true
+	})
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRangeBody scans one map-range body for order-dependent sinks.
+// funcBody is the enclosing function, scanned for the sorted-later
+// exemption.
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	keyObj := rangeVarObj(pass, rng.Key)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false // its own function; visited separately
+		case *ast.RangeStmt:
+			// Nested ranges are visited on their own by runMapOrder; their
+			// bodies' sinks belong to them (still order-dependent through
+			// the outer loop, but one report per site is enough).
+			if st != rng && isMapRange(pass, st) {
+				return false
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rng, st, keyObj, funcBody)
+		case *ast.CallExpr:
+			if name, ok := streamWriteCall(pass, st); ok {
+				pass.Reportf(st.Pos(),
+					"%s inside range over map emits output in nondeterministic order; range over sorted keys instead", name)
+			}
+		}
+		return true
+	})
+}
+
+func isMapRange(pass *Pass, rng *ast.RangeStmt) bool {
+	t := pass.Info.TypeOf(rng.X)
+	return t != nil && isMap(t)
+}
+
+// checkMapRangeAssign flags `s = append(s, …)` into an outer slice and
+// `s += expr` string concatenation into an outer variable.
+func checkMapRangeAssign(pass *Pass, rng *ast.RangeStmt, st *ast.AssignStmt, keyObj types.Object, funcBody *ast.BlockStmt) {
+	switch st.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range st.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass, call) || i >= len(st.Lhs) {
+				continue
+			}
+			lhs := st.Lhs[i]
+			if indexedByKey(pass, lhs, keyObj) {
+				continue // one cell per key; visit order cannot matter
+			}
+			if target, ok := lhs.(*ast.Ident); ok {
+				obj := pass.Info.ObjectOf(target)
+				if obj == nil || !declaredOutside(pass, obj, rng) {
+					continue
+				}
+			}
+			if sortedAfter(pass, funcBody, rng, lhs) {
+				continue // collect-then-sort idiom; the sort erases map order
+			}
+			pass.Reportf(st.Pos(),
+				"append to %s inside range over map builds a nondeterministically ordered slice; sort the result or range over sorted keys",
+				exprString(pass, lhs))
+		}
+	case token.ADD_ASSIGN:
+		target, ok := st.Lhs[0].(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := pass.Info.ObjectOf(target)
+		if obj == nil || !declaredOutside(pass, obj, rng) {
+			return
+		}
+		if t := pass.Info.TypeOf(st.Lhs[0]); t != nil && isString(t) {
+			pass.Reportf(st.Pos(),
+				"string concatenation into %s inside range over map is order-dependent; range over sorted keys instead",
+				target.Name)
+		}
+	}
+}
+
+// sortedAfter reports whether target is sorted after the range loop within
+// the enclosing function: a call positioned past the loop's end, to a
+// function in package sort or slices or to one whose name contains "sort"
+// (local helpers like report.sortStrings), taking the same expression.
+func sortedAfter(pass *Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt, target ast.Expr) bool {
+	want := exprString(pass, target)
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprString(pass, arg) == want {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall recognizes sort-ish callees: package sort, package slices, or
+// any function whose name contains "sort" case-insensitively.
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		if isPkgFunc(pass, fun.Sel, "sort",
+			"Sort", "Stable", "Slice", "SliceStable", "Ints", "Strings", "Float64s") ||
+			isPkgFunc(pass, fun.Sel, "slices", "Sort", "SortFunc", "SortStableFunc") {
+			return true
+		}
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	return strings.Contains(strings.ToLower(name), "sort")
+}
+
+// rangeVarObj returns the object bound by a range clause variable, or nil.
+func rangeVarObj(pass *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.Info.ObjectOf(id)
+}
+
+// indexedByKey reports whether lhs is an index expression whose index is the
+// range key (out[k] = … is deterministic: the written map/slice cell depends
+// only on the key, not on visit order).
+func indexedByKey(pass *Pass, lhs ast.Expr, keyObj types.Object) bool {
+	ix, ok := lhs.(*ast.IndexExpr)
+	if !ok || keyObj == nil {
+		return false
+	}
+	id, ok := ix.Index.(*ast.Ident)
+	return ok && pass.Info.ObjectOf(id) == keyObj
+}
+
+// declaredOutside reports whether obj's declaration lies outside the range
+// statement's extent — i.e. the loop mutates state that survives it.
+func declaredOutside(pass *Pass, obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// streamWriteCall reports fmt.Fprint/Fprintf/Fprintln and io.WriteString
+// calls — formatted output is ordered by construction.
+func streamWriteCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if isPkgFunc(pass, sel.Sel, "fmt", "Fprint", "Fprintf", "Fprintln") {
+		return "fmt." + sel.Sel.Name, true
+	}
+	if isPkgFunc(pass, sel.Sel, "io", "WriteString") {
+		return "io.WriteString", true
+	}
+	return "", false
+}
+
+// leftmostIdent returns the base identifier of a selector/index/deref
+// chain, or nil (e.g. for a call result).
+func leftmostIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprString renders a short source form of e for diagnostics.
+func exprString(pass *Pass, e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(pass, x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(pass, x.X) + "[…]"
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// NoWallClock forbids reading the wall clock from simulation code. The
+// discrete-event simulator owns time: every timestamp a component sees must
+// come from the DES clock (slurm.Simulator's event heap) or from the trace
+// itself, or two runs of the same seed stop being bit-identical and the
+// replication merge / golden-figure contracts break. time.Now and its
+// convenience wrapper time.Since are the two ways wall time leaks in;
+// time.Duration arithmetic and the time constants remain fine.
+//
+// Runtime backstop: the engine's worker-count bit-identity tests and the
+// golden figures would eventually catch a wall-clock read, but only on a
+// lucky diff; this makes it a build failure.
+var NoWallClock = &Analyzer{
+	Name:    "nowallclock",
+	Doc:     "forbid time.Now/time.Since in simulation code; sim time comes from the DES clock",
+	Default: true,
+	Run:     runNoWallClock,
+}
+
+func runNoWallClock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if isPkgFunc(pass, sel.Sel, "time", "Now", "Since") {
+				pass.Reportf(call.Pos(),
+					"%s reads the wall clock; simulation time must come from the DES clock (use the simulator's Now/event time)",
+					"time."+sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

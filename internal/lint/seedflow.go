@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SeedFlow keeps every random draw on the seeded SplitMix64 substream
+// substrate (internal/dist). Two rules:
+//
+//  1. No top-level math/rand (or math/rand/v2) functions that draw from the
+//     package-global source — rand.Intn, rand.Float64, rand.Perm, … — in
+//     non-test code. The global source is shared mutable state: a draw from
+//     one component perturbs every other component's stream, and its
+//     sequence is not stable across Go releases.
+//  2. No raw generator construction (rand.New, rand.NewSource, rand.NewPCG,
+//     rand.NewChaCha8) outside internal/dist. All RNGs must derive from
+//     dist.StreamSeed/dist.Stream substreams, which is what makes the
+//     parallel replication engine bit-identical for any worker count:
+//     replication i always draws from Stream(root, i) no matter which
+//     worker runs it.
+//
+// Runtime backstop: the engine's worker-count equivalence tests and the
+// fault-run bit-identity tests, which only fail after a stray generator has
+// already skewed a merge.
+var SeedFlow = &Analyzer{
+	Name:    "seedflow",
+	Doc:     "forbid global math/rand and raw rand.New outside internal/dist; RNGs derive from dist.StreamSeed",
+	Default: true,
+	Run:     runSeedFlow,
+}
+
+// seedflowExempt reports whether the package may construct raw generators:
+// internal/dist is the substrate itself.
+func seedflowExempt(path string) bool {
+	return path == "internal/dist" || strings.HasSuffix(path, "/internal/dist")
+}
+
+func runSeedFlow(pass *Pass) error {
+	exempt := seedflowExempt(pass.Path)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pass.Info.Selections[sel] != nil {
+				// A method or field selection (r.Intn on a local *rand.Rand,
+				// caught at its construction site), not a qualified
+				// package-level identifier.
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			switch fn.Name() {
+			case "New", "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+				if !exempt {
+					pass.Reportf(sel.Pos(),
+						"raw %s.%s constructs a generator outside internal/dist; derive streams from dist.StreamSeed/dist.Stream so replication merges stay bit-identical",
+						path, fn.Name())
+				}
+			default:
+				pass.Reportf(sel.Pos(),
+					"global %s.%s draws from the shared process-wide source; use a dist.RNG substream instead",
+					path, fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+// Package allowbad holds malformed suppressions whose audit diagnostics land
+// on the comment's own line, where a want comment cannot sit (anything after
+// the analyzer name would become the reason). Its expectations live in
+// allow_test.go instead of want comments.
+package allowbad
+
+import "time"
+
+func missingEverything() time.Time {
+	//lint:allow
+	return time.Now()
+}
+
+func missingReason() time.Time {
+	//lint:allow nowallclock
+	return time.Now()
+}

@@ -1,0 +1,30 @@
+// Package allowfix exercises the //lint:allow suppression mechanism: an
+// allow silences exactly the named analyzer on its own line or the next,
+// and nothing else; unknown names and stale suppressions are findings.
+package allowfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func mixedLine() (time.Time, int) {
+	// The allow names nowallclock only, so the seedflow finding on the same
+	// line must survive.
+	//lint:allow nowallclock fixture: proving only the named analyzer is silenced
+	return time.Now(), rand.Intn(3) // want `global math/rand\.Intn draws from the shared process-wide source`
+}
+
+func inlineAllow() time.Time {
+	return time.Now() //lint:allow nowallclock fixture: an inline allow covers its own line
+}
+
+func unknownName() time.Time {
+	//lint:allow clockcheck typo of an analyzer name // want `unknown analyzer "clockcheck" in //lint:allow \(it would suppress nothing\)`
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func staleAllow() int {
+	//lint:allow seedflow nothing random happens below // want `stale //lint:allow seedflow: no finding on the covered line`
+	return 4
+}

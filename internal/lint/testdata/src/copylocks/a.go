@@ -1,0 +1,41 @@
+// Package copylocks exercises the by-value lock copy analyzer.
+package copylocks
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func flaggedParam(g guarded) int { // want `passes lock by value: it contains sync\.Mutex`
+	return g.n
+}
+
+func flaggedAssign(g *guarded) {
+	cp := *g // want `assignment copies lock value`
+	_ = cp.n
+}
+
+func flaggedRange(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want `range clause copies lock value`
+		total += g.n
+	}
+	return total
+}
+
+func cleanPointer(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func flaggedResult() (g guarded) { // want `passes lock by value: it contains sync\.Mutex`
+	return
+}
+
+func cleanFresh() *guarded {
+	// Sharing via pointer is the correct shape; nothing is copied.
+	return &guarded{n: 1}
+}

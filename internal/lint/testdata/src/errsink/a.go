@@ -1,0 +1,38 @@
+// Package errsink exercises the discarded-error analyzer for the trace codec
+// and report renderer packages.
+package errsink
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+func flagged(w io.Writer, d *trace.Dataset) {
+	d.WriteCSV(w)               // want `discarded error from trace\.WriteCSV`
+	_ = d.WriteJSON(w)          // want `error from trace\.WriteJSON assigned to _`
+	defer d.WriteCSV(w)         // want `deferred and discarded error from trace\.WriteCSV`
+	report.NewTable().Render(w) // want `discarded error from report\.Render`
+	go report.RenderReport(w)   // want `discarded by go statement error from report\.RenderReport`
+}
+
+func clean(w io.Writer, d *trace.Dataset) error {
+	if err := d.WriteCSV(w); err != nil {
+		return err
+	}
+	err := report.RenderReport(w)
+	if err != nil {
+		return err
+	}
+	ds, err := trace.ParseCSV(nil)
+	if err != nil {
+		return err
+	}
+	_ = ds
+	// Errors from packages outside the guarded set are not this analyzer's
+	// business (go vet has its own checks).
+	fmt.Fprintln(w, "done")
+	return nil
+}

@@ -1,0 +1,23 @@
+// Package fieldalign exercises the padding analyzer (gc/amd64 layout).
+package fieldalign
+
+type wasteful struct { // want `struct wasteful is 24 bytes; reordering to \(b, a, c\) saves 8 bytes per value`
+	a bool
+	b int64
+	c bool
+}
+
+type packed struct {
+	b int64
+	a bool
+	c bool
+}
+
+type tiny struct {
+	a byte
+	b byte
+}
+
+var _ = wasteful{}
+var _ = packed{}
+var _ = tiny{}

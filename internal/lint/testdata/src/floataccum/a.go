@@ -1,0 +1,54 @@
+// Package floataccum exercises the float-reduction-order analyzer.
+package floataccum
+
+import "sync"
+
+func flaggedMapRange(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into sum inside range over map folds in nondeterministic iteration order`
+	}
+	return sum
+}
+
+func flaggedGoroutine(vals []float64) float64 {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var total float64
+	for _, v := range vals {
+		v := v
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total += v // want `float accumulation into total into a captured variable folds in goroutine-completion order`
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+func cleanIntMapRange(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v // ints are exact; order cannot change the result
+	}
+	return sum
+}
+
+func cleanKeyed(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] += v // keyed by loop key: each slot written independently
+	}
+	return out
+}
+
+func cleanSliceRange(vals []float64) float64 {
+	var sum float64
+	for _, v := range vals {
+		sum += v // slice order is deterministic
+	}
+	return sum
+}

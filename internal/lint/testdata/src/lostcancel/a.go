@@ -1,0 +1,32 @@
+// Package lostcancel exercises the discarded/unused cancel-func analyzer.
+package lostcancel
+
+import (
+	"context"
+	"time"
+)
+
+// leakedCancel exists so the unused-cancel case type-checks: an unused local
+// would not compile, but an assigned-and-forgotten package variable does.
+var leakedCancel context.CancelFunc
+
+func flaggedBlank(ctx context.Context) context.Context {
+	ctx, _ = context.WithCancel(ctx) // want `the cancel function returned by context\.WithCancel is discarded`
+	return ctx
+}
+
+func flaggedUnused(ctx context.Context) context.Context {
+	ctx, leakedCancel = context.WithTimeout(ctx, time.Second) // want `the cancel function leakedCancel from context\.WithTimeout is never used; defer leakedCancel\(\)`
+	return ctx
+}
+
+func cleanDeferred(ctx context.Context) context.Context {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return ctx
+}
+
+func cleanPassedOn(ctx context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithDeadline(ctx, time.Unix(0, 0))
+	return ctx, cancel
+}

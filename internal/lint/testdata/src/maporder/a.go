@@ -1,0 +1,55 @@
+// Package maporder exercises the map-iteration-order analyzer.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func flaggedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside range over map builds a nondeterministically ordered slice`
+	}
+	return keys
+}
+
+func flaggedWrite(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf inside range over map emits output in nondeterministic order`
+	}
+}
+
+func flaggedConcat(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k // want `string concatenation into out inside range over map is order-dependent`
+	}
+	return out
+}
+
+func cleanSortedAfter(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // exempt: keys is visibly sorted below
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func cleanIndexedByKey(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2 // exempt: writes keyed by the loop key are order-independent
+	}
+	return out
+}
+
+func cleanCounter(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // int accumulation is commutative; not this analyzer's concern
+	}
+	return n
+}

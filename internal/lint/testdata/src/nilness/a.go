@@ -1,0 +1,43 @@
+// Package nilness exercises the proven-nil dereference analyzer.
+package nilness
+
+type node struct {
+	next *node
+	val  int
+}
+
+func flaggedSelector(p *node) int {
+	if p == nil {
+		return p.val // want `p is nil on this branch; p\.val dereferences it`
+	}
+	return p.val
+}
+
+func flaggedStar(p *int) int {
+	if nil == p {
+		return *p // want `p is nil on this branch; \*p dereferences it`
+	}
+	return *p
+}
+
+func cleanReassigned(p *node) int {
+	if p == nil {
+		p = &node{}
+		return p.val // reassigned above, no longer proven nil
+	}
+	return p.val
+}
+
+func cleanNotNil(p *node) int {
+	if p != nil {
+		return p.val
+	}
+	return 0
+}
+
+func cleanNilMapRead(m map[string]int) int {
+	if m == nil {
+		return m["missing"] // nil map reads are well-defined; only pointers panic
+	}
+	return len(m)
+}

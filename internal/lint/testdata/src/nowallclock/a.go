@@ -1,0 +1,21 @@
+// Package nowallclock exercises the wall-clock analyzer: both readers are
+// flagged; duration arithmetic and conversions are not.
+package nowallclock
+
+import "time"
+
+func flagged() time.Duration {
+	start := time.Now() // want `time\.Now reads the wall clock`
+	work()
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func clean(simNowSec float64) time.Duration {
+	d := 3 * time.Second
+	d += time.Duration(simNowSec * float64(time.Second))
+	t := time.Unix(0, 0).Add(d)
+	_ = t
+	return d
+}
+
+func work() {}

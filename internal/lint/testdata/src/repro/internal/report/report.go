@@ -1,0 +1,13 @@
+// Package report is a minimal stand-in for the real renderer package used by
+// the errsink fixture.
+package report
+
+import "io"
+
+type Table struct{}
+
+func NewTable() *Table { return &Table{} }
+
+func (t *Table) Render(w io.Writer) error { return nil }
+
+func RenderReport(w io.Writer) error { return nil }

@@ -1,0 +1,13 @@
+// Package trace is a minimal stand-in for the real codec package so the
+// errsink fixture can exercise suffix-based package matching without
+// type-checking the full simulator tree.
+package trace
+
+import "io"
+
+type Dataset struct{}
+
+func (d *Dataset) WriteCSV(w io.Writer) error  { return nil }
+func (d *Dataset) WriteJSON(w io.Writer) error { return nil }
+
+func ParseCSV(r io.Reader) (*Dataset, error) { return &Dataset{}, nil }

@@ -1,0 +1,24 @@
+// Package seedflow exercises the RNG-provenance analyzer: global draws and
+// raw generator construction are flagged outside internal/dist.
+package seedflow
+
+import "math/rand"
+
+func flagged() {
+	_ = rand.Intn(10)                  // want `global math/rand\.Intn draws from the shared process-wide source`
+	_ = rand.Float64()                 // want `global math/rand\.Float64`
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand\.Shuffle`
+	r := rand.New(rand.NewSource(42))  // want `raw math/rand\.New constructs` `raw math/rand\.NewSource constructs`
+	_ = r.Intn(10)                     // methods on an already-built generator are not re-flagged
+}
+
+type fakeRNG struct{ state uint64 }
+
+func (f *fakeRNG) Intn(n int) int { return int(f.state) % n }
+
+func clean() {
+	// Locally defined generators with rand-like method names are fine; only
+	// math/rand package functions are provenance violations.
+	f := &fakeRNG{state: 7}
+	_ = f.Intn(3)
+}

@@ -1,0 +1,11 @@
+// Package dist stands in for the RNG substrate package, which is the one
+// place allowed to build raw math/rand generators (it wraps them). A clean
+// fixture: no want comments.
+package dist
+
+import "math/rand"
+
+// NewWrapped builds the substrate's internal generator.
+func NewWrapped(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

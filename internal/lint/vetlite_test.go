@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestCopyLocks(t *testing.T) {
+	linttest.Run(t, "copylocks", lint.CopyLocks)
+}
+
+func TestLostCancel(t *testing.T) {
+	linttest.Run(t, "lostcancel", lint.LostCancel)
+}
+
+func TestNilnessLite(t *testing.T) {
+	linttest.Run(t, "nilness", lint.NilnessLite)
+}

@@ -90,12 +90,13 @@ type JobMonitor struct {
 
 	acc    [][metrics.NumMetrics]stats.Streaming
 	series [][]metrics.Sample
-	ran    bool
 
-	// fault state (see faults.go).
+	// fault state (see faults.go), then the two run flags packed together so
+	// they share one padded word.
 	fault          Fault
 	faultRNG       *dist.RNG
 	droppedSamples int64
+	ran            bool
 	stalled        bool
 }
 

@@ -91,6 +91,16 @@ func sortStrings(s []string) {
 	}
 }
 
+// sortInts is the int sibling of sortStrings (this file keeps its tiny
+// insertion sorts local rather than importing package sort for two calls).
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
 func fmtG(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 func exportFig3a(w io.Writer, r *core.Report) error {
@@ -208,11 +218,7 @@ func exportFig13(w io.Writer, r *core.Report) error {
 	for k := range r.GPUCounts.FracByCount {
 		counts = append(counts, k)
 	}
-	for i := 1; i < len(counts); i++ {
-		for j := i; j > 0 && counts[j] < counts[j-1]; j-- {
-			counts[j], counts[j-1] = counts[j-1], counts[j]
-		}
-	}
+	sortInts(counts)
 	for _, k := range counts {
 		if err := cw.Write([]string{strconv.Itoa(k), fmtG(r.GPUCounts.FracByCount[k])}); err != nil {
 			return err

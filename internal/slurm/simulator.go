@@ -265,8 +265,8 @@ type Simulator struct {
 	telemetry *Telemetry
 
 	// Fault-injection state, allocated only when cfg.Faults is non-empty so
-	// the fault-free hot path carries no extra work.
-	faultsOn  bool
+	// the fault-free hot path carries no extra work. faultsOn sits next to
+	// the ckptCats byte array so the booleans share one padded word.
 	injector  *faults.Injector
 	nodeFault []faults.NodeEvent // the one outstanding outage per node
 	runState  []jobRun
@@ -275,6 +275,7 @@ type Simulator struct {
 	downGPUs  int // mirrors cluster.DownGPUs for the time integral
 	ckptEvery float64
 	ckptCats  [trace.NumCategories]bool
+	faultsOn  bool
 }
 
 // NewSimulator builds a simulator.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 
 	"repro/internal/metrics"
@@ -166,14 +167,25 @@ type jsonDataset struct {
 // WriteJSON writes the complete dataset, including per-GPU summaries and
 // time series, to w. Validation mirrors WriteCSV: a dataset one codec
 // accepts, both accept — and a non-finite value fails with a record-level
-// error here rather than an opaque one from the JSON encoder.
+// error here rather than an opaque one from the JSON encoder. The series
+// array is emitted in ascending job-id order: Series is a map, and writing
+// it in iteration order made two encodings of the same dataset differ
+// byte-for-byte run to run (simlint's maporder analyzer caught this).
 func (d *Dataset) WriteJSON(w io.Writer) error {
 	if err := d.Validate(); err != nil {
 		return err
 	}
 	wire := jsonDataset{DurationDays: d.DurationDays, Jobs: d.Jobs}
-	for _, ts := range d.Series {
-		wire.Series = append(wire.Series, ts)
+	if len(d.Series) > 0 {
+		ids := make([]int64, 0, len(d.Series))
+		for id := range d.Series {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		wire.Series = make([]*TimeSeries, 0, len(ids))
+		for _, id := range ids {
+			wire.Series = append(wire.Series, d.Series[id])
+		}
 	}
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(wire); err != nil {

@@ -26,13 +26,13 @@ import (
 // active stretch with a characteristic utilization level. The paper's Fig. 6
 // shows jobs alternating irregularly between the two.
 type Phase struct {
-	DurSec float64
-	Active bool
 	// Level is the target utilization during the phase. For idle phases the
 	// compute components are zero but MemSizePct persists (frameworks hold
 	// their allocations across idle stretches) and PCIe traffic continues
 	// (idle GPU phases are when input pipelines stage data).
-	Level gpu.Utilization
+	Level  gpu.Utilization
+	DurSec float64
+	Active bool
 	// Burst flags mark a saturation spike within the phase (the first
 	// burstFraction of the phase runs the flagged metric at 100 %), the
 	// mechanism behind the paper's Fig. 7b/8 bottleneck observations.
