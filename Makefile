@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test short race race-sched race-analyze race-fault fuzz bench bench-pr3 bench-fault bench-figures golden clean
+.PHONY: check build vet lint test short race race-sched race-analyze race-fault fuzz bench bench-pr3 bench-fault bench-pr6 bench-figures alloc-guard golden clean
 
-check: lint build race-sched race-analyze race-fault race
+check: lint build alloc-guard race-sched race-analyze race-fault race
 
 build:
 	$(GO) build ./...
@@ -37,7 +37,9 @@ race:
 	$(GO) test -race ./...
 
 # Scheduler-focused race pass: the allocation index, the incremental
-# schedule() loop and the replication engine that drives them in parallel.
+# schedule() loop, the replication engine that drives them in parallel, and
+# (PR 6) the sharded simulator's window-barrier worker pool — the sharded
+# bit-identity tests run shards on 1/2/4/8 workers under the detector.
 race-sched:
 	$(GO) test -race ./internal/cluster ./internal/slurm ./internal/engine
 
@@ -54,11 +56,13 @@ race-analyze:
 race-fault:
 	$(GO) test -race -run 'Fault|FailureStorm|Requeue|Checkpoint|NodeCrash|NodeDrain|RunContext' 		./internal/slurm ./internal/engine ./internal/monitor ./internal/faults
 
-# Short fuzz session over every trace codec target.
+# Short fuzz session over every trace codec target, plus the calendar event
+# queue cross-checked against the heap spec (PR 6).
 fuzz:
 	$(GO) test ./internal/trace -fuzz FuzzReadCSV -fuzztime 30s
 	$(GO) test ./internal/trace -fuzz FuzzReadJSON -fuzztime 30s
 	$(GO) test ./internal/trace -fuzz FuzzDatasetRoundTrip -fuzztime 30s
+	$(GO) test ./internal/slurm -fuzz FuzzCalQueue -fuzztime 30s
 
 # Scheduler-scaling benchmarks (PR 2): the Schedule/Simulate/Replicate trio
 # at 10k/100k/500k jobs, one timed run each, joined against the committed
@@ -87,6 +91,21 @@ bench-pr3:
 bench-fault:
 	$(GO) test -run '^$$' -bench '^Benchmark(Simulate|Schedule|SimulateFaults)$$' 		-benchtime 1x -timeout 2h . | tee bench/last_run_pr4.txt
 	$(GO) run ./cmd/benchjson -label post-faults 		-baseline bench/baseline_pr3.json < bench/last_run_pr4.txt > BENCH_PR4.json
+
+# Event-queue benchmarks (PR 6): BenchmarkSimulate now rides the calendar
+# queue — its speedup column against the PR 3 (heap-era) baseline is the
+# acceptance number — plus BenchmarkSimulateSharded sweeping shard counts
+# 1/2/4/8 at 500k and 5M jobs (no baseline rows; absolute numbers plus the
+# shard-imbalance metric).
+bench-pr6:
+	$(GO) test -run '^$$' -bench '^Benchmark(Simulate|Schedule|SimulateSharded)$$' 		-benchtime 1x -timeout 2h . | tee bench/last_run_pr6.txt
+	$(GO) run ./cmd/benchjson -label post-calendar-queue 		-baseline bench/baseline_pr3.json < bench/last_run_pr6.txt > BENCH_PR6.json
+
+# Allocation-count guards (PR 6, part of `make check`): the calendar queue's
+# steady-state zero-allocation property and the end-to-end per-job allocation
+# budget of Simulate. Skipped automatically under -race.
+alloc-guard:
+	$(GO) test ./internal/slurm -count=1 		-run 'TestCalQueueSteadyStateAllocFree|TestHeapSpecBoxesPerEvent|TestSimulatePerJobAllocBudget'
 
 # Figure/experiment benchmarks: regenerate every paper table and figure
 # metric (the pre-PR2 `make bench`).

@@ -60,8 +60,12 @@ func main() {
 		repairHours = flag.Float64("repair-hours", 2, "mean node repair time in hours")
 		maxRetries  = flag.Int("max-retries", 3, "requeue attempts before a failed job is abandoned")
 		faultSeed   = flag.Uint64("fault-seed", 0, "failure-stream seed (0 = derive from -seed)")
+		shards      = flag.Int("shards", 1, "partition the cluster into independent node-group shards (>1 enables the parallel sharded simulator)")
+		shardWork   = flag.Int("shard-workers", 0, "concurrent shard executors per window round (0 = GOMAXPROCS); output is identical for any value")
+		windowSec   = flag.Float64("window", 0, "conservative shard synchronization window in simulated seconds (0 = default)")
 	)
 	flag.Parse()
+	sharding := slurm.Sharding{Shards: *shards, Workers: *shardWork, WindowSec: *windowSec}
 
 	plan := faults.Plan{
 		NodeCrashMTBFHours: *mtbfCrash,
@@ -79,7 +83,7 @@ func main() {
 		}
 		scfg := simConfig(*nodes, *scale, *colocate, *monInterval, *seed)
 		applyFaults(&scfg, plan, *faultSeed, *seed, *maxRetries)
-		runReplicated(gcfg, scfg, *reps, *workers, *seed)
+		runReplicated(gcfg, scfg, sharding, *reps, *workers, *seed)
 		return
 	}
 
@@ -121,16 +125,42 @@ func main() {
 		scfg.DetailedJobs = detailed
 	}
 
-	sim, err := slurm.NewSimulator(scfg)
-	if err != nil {
-		log.Fatal(err)
+	var (
+		results map[int64]*slurm.Result
+		st      slurm.Stats
+		ds      *trace.Dataset
+		tel     *slurm.Telemetry
+		shRun   *slurm.ShardedRun
+	)
+	if *shards > 1 {
+		run, err := slurm.SimulateSharded(context.Background(), scfg, specs, sharding)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(run.Rejected) > 0 {
+			log.Printf("rejected %d jobs exceeding shard capacity", len(run.Rejected))
+		}
+		st = run.Merged
+		ds = run.BuildDataset(gcfg.DurationDays)
+		results = make(map[int64]*slurm.Result, st.Completed)
+		for _, shard := range run.Results {
+			for id, res := range shard {
+				results[id] = res
+			}
+		}
+		shRun = run
+	} else {
+		sim, err := slurm.NewSimulator(scfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tel = sim.EnableTelemetry(0)
+		results, st, err = sim.Run(specs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds = sim.BuildDataset(specs, results, gcfg.DurationDays)
 	}
-	tel := sim.EnableTelemetry(0)
-	results, st, err := sim.Run(specs)
-	if err != nil {
-		log.Fatal(err)
-	}
-	ds := sim.BuildDataset(specs, results, gcfg.DurationDays)
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
@@ -174,13 +204,27 @@ func main() {
 	}
 	fmt.Fprintln(w)
 
-	occ := tel.OccupancyQuantiles(st.TotalGPUs, 0.25, 0.5, 0.9)
-	t4 := report.NewTable("cluster telemetry", "quantity", "value")
-	t4.AddRowF("occupancy p25/p50/p90", fmt.Sprintf("%.2f / %.2f / %.2f", occ[0], occ[1], occ[2]))
-	t4.AddRowF("peak queue depth", tel.PeakQueueLen())
-	t4.AddRowF("telemetry points", len(tel.Points))
-	if err := t4.Render(w); err != nil {
-		log.Fatal(err)
+	if tel != nil {
+		occ := tel.OccupancyQuantiles(st.TotalGPUs, 0.25, 0.5, 0.9)
+		t4 := report.NewTable("cluster telemetry", "quantity", "value")
+		t4.AddRowF("occupancy p25/p50/p90", fmt.Sprintf("%.2f / %.2f / %.2f", occ[0], occ[1], occ[2]))
+		t4.AddRowF("peak queue depth", tel.PeakQueueLen())
+		t4.AddRowF("telemetry points", len(tel.Points))
+		if err := t4.Render(w); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if shRun != nil {
+		t5 := report.NewTable("shard execution", "shard", "nodes", "jobs", "events", "horizon (s)")
+		for i, sst := range shRun.ShardStats {
+			t5.AddRowF(i, sst.TotalGPUs/max(1, scfg.Cluster.GPUsPerNode), len(shRun.Specs[i]), sst.EventsProcessed, sst.HorizonSec)
+		}
+		if err := t5.Render(w); err != nil {
+			log.Fatal(err)
+		}
+		agg := shRun.WaitAgg()
+		fmt.Fprintf(w, "sync windows: %d  merged wait mean: %.1fs over %d jobs\n",
+			shRun.Windows, agg.Mean(), agg.N())
 	}
 
 	if !scfg.Faults.Empty() {
@@ -255,10 +299,10 @@ func applyFaults(scfg *slurm.Config, plan faults.Plan, faultSeed, seed uint64, m
 // runReplicated fans the generator→scheduler→characterization pipeline
 // across the worker pool and prints across-replication statistics. Ctrl-C
 // cancels the batch and reports whatever completed.
-func runReplicated(gcfg workload.Config, scfg slurm.Config, reps, workers int, seed uint64) {
+func runReplicated(gcfg workload.Config, scfg slurm.Config, sharding slurm.Sharding, reps, workers int, seed uint64) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	exp := engine.Experiment{Gen: gcfg, Sim: scfg}
+	exp := engine.Experiment{Gen: gcfg, Sim: scfg, Sharding: sharding}
 	batch, err := engine.Run(ctx, engine.Config{RootSeed: seed, Reps: reps, Workers: workers}, exp.Replicator())
 	if err != nil {
 		log.Fatal(err)

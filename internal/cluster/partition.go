@@ -1,0 +1,30 @@
+package cluster
+
+import "fmt"
+
+// PartitionNodes splits a cluster configuration into shard sub-clusters for
+// the sharded simulation mode: node counts differ by at most one (the first
+// nodes%shards shards take the extra node) and every other parameter is
+// inherited, so the shards jointly cover exactly the original inventory.
+// The split is a pure function of (cfg, shards) — the same partition every
+// run, whatever worker count executes it.
+func PartitionNodes(cfg Config, shards int) ([]Config, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("cluster: need at least one shard, got %d", shards)
+	}
+	if shards > cfg.Nodes {
+		return nil, fmt.Errorf("cluster: cannot split %d nodes into %d shards", cfg.Nodes, shards)
+	}
+	base := cfg.Nodes / shards
+	extra := cfg.Nodes % shards
+	out := make([]Config, shards)
+	for i := range out {
+		sub := cfg
+		sub.Nodes = base
+		if i < extra {
+			sub.Nodes++
+		}
+		out[i] = sub
+	}
+	return out, nil
+}

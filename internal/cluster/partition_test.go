@@ -1,0 +1,70 @@
+package cluster
+
+import "testing"
+
+func TestPartitionNodesCoversInventory(t *testing.T) {
+	cfg := SupercloudConfig() // 224 nodes
+	for _, shards := range []int{1, 2, 3, 4, 7, 8, 16, 224} {
+		subs, err := PartitionNodes(cfg, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if len(subs) != shards {
+			t.Fatalf("shards=%d: got %d configs", shards, len(subs))
+		}
+		total := 0
+		minN, maxN := subs[0].Nodes, subs[0].Nodes
+		for _, sub := range subs {
+			total += sub.Nodes
+			if sub.Nodes < minN {
+				minN = sub.Nodes
+			}
+			if sub.Nodes > maxN {
+				maxN = sub.Nodes
+			}
+			if sub.GPUsPerNode != cfg.GPUsPerNode || sub.CoresPerNode != cfg.CoresPerNode ||
+				sub.MemGBPerNode != cfg.MemGBPerNode || sub.NodesPerRack != cfg.NodesPerRack {
+				t.Fatalf("shards=%d: per-node parameters not inherited: %+v", shards, sub)
+			}
+			if err := sub.Validate(); err != nil {
+				t.Fatalf("shards=%d: invalid sub-config: %v", shards, err)
+			}
+		}
+		if total != cfg.Nodes {
+			t.Fatalf("shards=%d: partition covers %d of %d nodes", shards, total, cfg.Nodes)
+		}
+		if maxN-minN > 1 {
+			t.Fatalf("shards=%d: unbalanced partition, node counts span [%d, %d]", shards, minN, maxN)
+		}
+	}
+}
+
+func TestPartitionNodesDeterministic(t *testing.T) {
+	cfg := SupercloudConfig()
+	a, err := PartitionNodes(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PartitionNodes(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shard %d differs between identical calls", i)
+		}
+	}
+}
+
+func TestPartitionNodesErrors(t *testing.T) {
+	cfg := SupercloudConfig()
+	if _, err := PartitionNodes(cfg, 0); err == nil {
+		t.Error("shards=0 accepted")
+	}
+	if _, err := PartitionNodes(cfg, -1); err == nil {
+		t.Error("shards=-1 accepted")
+	}
+	if _, err := PartitionNodes(cfg, cfg.Nodes+1); err == nil {
+		t.Error("more shards than nodes accepted")
+	}
+}

@@ -19,6 +19,13 @@ import (
 type Experiment struct {
 	Gen workload.Config
 	Sim slurm.Config
+	// Sharding, when Shards>1, runs each replication through the sharded
+	// simulator (slurm.SimulateSharded): the replica's cluster is partitioned
+	// into independent node groups that execute concurrently under
+	// conservative time-window synchronization. Replication samples are
+	// bit-identical for any Sharding.Workers value, so the engine's
+	// worker-count determinism guarantee extends through the sharded path.
+	Sharding slurm.Sharding
 }
 
 // Replicator returns the engine-compatible closure for the experiment. Each
@@ -49,18 +56,35 @@ func (e Experiment) Replicator() Replicator {
 		// scaled) cluster's capacity are rejected as Slurm would, not left
 		// to deadlock the drain.
 		specs, rejected := slurm.Feasible(scfg, specs)
-		sim, err := slurm.NewSimulator(scfg)
-		if err != nil {
-			return nil, fmt.Errorf("replication %d: %w", rep, err)
-		}
-		results, st, err := sim.RunContext(ctx, specs)
-		if err != nil {
-			return nil, fmt.Errorf("replication %d: %w", rep, err)
+		var (
+			st slurm.Stats
+			ds *trace.Dataset
+		)
+		if e.Sharding.Shards > 1 {
+			run, err := slurm.SimulateSharded(ctx, scfg, specs, e.Sharding)
+			if err != nil {
+				return nil, fmt.Errorf("replication %d: %w", rep, err)
+			}
+			// Shard-level rejections (jobs no sub-cluster can hold) count
+			// with the submit-time rejections.
+			rejected = append(rejected, run.Rejected...)
+			st = run.Merged
+			ds = run.BuildDataset(gcfg.DurationDays)
+		} else {
+			sim, err := slurm.NewSimulator(scfg)
+			if err != nil {
+				return nil, fmt.Errorf("replication %d: %w", rep, err)
+			}
+			results, rst, err := sim.RunContext(ctx, specs)
+			if err != nil {
+				return nil, fmt.Errorf("replication %d: %w", rep, err)
+			}
+			st = rst
+			ds = sim.BuildDataset(specs, results, gcfg.DurationDays)
 		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		ds := sim.BuildDataset(specs, results, gcfg.DurationDays)
 		sm := Characterize(ds, st)
 		sm["jobs_rejected"] = float64(len(rejected))
 		if !scfg.Faults.Empty() {

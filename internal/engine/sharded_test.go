@@ -1,0 +1,67 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/slurm"
+)
+
+// shardedExperiment is the small experiment routed through the sharded
+// simulator: two node-group shards per replica cluster.
+func shardedExperiment(shardWorkers int) Experiment {
+	ex := smallExperiment()
+	ex.Sim.Faults = faults.Plan{
+		NodeCrashMTBFHours: 200, GPUFatalMTBFHours: 600, MeanRepairHours: 2,
+	}
+	ex.Sharding = slurm.Sharding{Shards: 2, Workers: shardWorkers}
+	return ex
+}
+
+// TestShardedRunDeterministicAcrossWorkerCounts nests both parallelism axes:
+// replications across engine workers AND node-group shards across shard
+// workers inside each replication. The merged summary must be byte-identical
+// for every combination — the PR4 fault-run guarantee extended through the
+// sharded simulator.
+func TestShardedRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded replication batch in -short mode")
+	}
+	const reps = 4
+	serial := runBatch(t, 1, reps, shardedExperiment(1).Replicator())
+	want := serial.Merged.Fingerprint()
+	for _, combo := range []struct{ engineWorkers, shardWorkers int }{
+		{1, 4}, {4, 1}, {4, 8}, {8, 2},
+	} {
+		b := runBatch(t, combo.engineWorkers, reps, shardedExperiment(combo.shardWorkers).Replicator())
+		if got := b.Merged.Fingerprint(); got != want {
+			var a, bb strings.Builder
+			serial.Merged.WriteCanonical(&a)
+			b.Merged.WriteCanonical(&bb)
+			t.Fatalf("engine=%d shard=%d summary differs from serial:\nserial:\n%s\ngot:\n%s",
+				combo.engineWorkers, combo.shardWorkers, a.String(), bb.String())
+		}
+	}
+}
+
+// TestShardedExperimentKeepsSampleKeySet: routing through the sharded
+// simulator must not change the replication sample's key set, so sharded
+// and unsharded batches remain comparable in the report layer.
+func TestShardedExperimentKeepsSampleKeySet(t *testing.T) {
+	plain := smallExperiment()
+	plain.Sim.Faults = faults.Plan{
+		NodeCrashMTBFHours: 200, GPUFatalMTBFHours: 600, MeanRepairHours: 2,
+	}
+	a := runBatch(t, 2, 2, plain.Replicator())
+	b := runBatch(t, 2, 2, shardedExperiment(2).Replicator())
+	ak, bk := a.Merged.Metrics(), b.Merged.Metrics()
+	if len(ak) != len(bk) {
+		t.Fatalf("key sets differ: plain %d keys, sharded %d keys", len(ak), len(bk))
+	}
+	for i := range ak {
+		if ak[i] != bk[i] {
+			t.Fatalf("key %d: plain %q, sharded %q", i, ak[i], bk[i])
+		}
+	}
+}

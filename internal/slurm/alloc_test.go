@@ -1,0 +1,113 @@
+package slurm
+
+// Allocation-count guards on the event hot path, wired into `make check`
+// (the alloc-guard target). The heap spec pays two boxing allocations per
+// event just moving events through `any`; the calendar queue exists to pay
+// zero. These tests pin that property so a regression (a future `any`
+// boundary, an accidental per-event copy) fails CI rather than silently
+// eating the PR's speedup.
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestCalQueueSteadyStateAllocFree: once a bucket has capacity, a
+// pop-then-push cycle at the live instant must not allocate at all.
+func TestCalQueueSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is not meaningful under the race detector")
+	}
+	initial := make([]event, 1024)
+	for i := range initial {
+		initial[i] = event{timeSec: float64(i) * 50, kind: evSubmit, seq: i}
+	}
+	q := newCalQueue(initial)
+	seq := len(initial)
+	// Warm up: one full cycle reallocates any cap==len init bucket touched.
+	for i := 0; i < 64; i++ {
+		e, ok := q.Pop()
+		if !ok {
+			t.Fatal("queue drained during warm-up")
+		}
+		q.Push(event{timeSec: e.timeSec, kind: evFinish, seq: seq})
+		seq++
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		e, ok := q.Pop()
+		if !ok {
+			t.Fatal("queue drained during measurement")
+		}
+		q.Push(event{timeSec: e.timeSec, kind: evFinish, seq: seq})
+		seq++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state pop+push allocates %.1f objects per cycle, want 0", allocs)
+	}
+}
+
+// TestHeapSpecBoxesPerEvent documents why the calendar queue exists: the
+// container/heap spec allocates on every push/pop cycle (interface boxing).
+// If Go ever devirtualizes this away, the comparison benchmark claims in
+// EXPERIMENTS.md need re-deriving — this test is the tripwire.
+func TestHeapSpecBoxesPerEvent(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is not meaningful under the race detector")
+	}
+	initial := make([]event, 1024)
+	for i := range initial {
+		initial[i] = event{timeSec: float64(i) * 50, kind: evSubmit, seq: i}
+	}
+	q := naiveNewEventQueue(initial)
+	seq := len(initial)
+	allocs := testing.AllocsPerRun(500, func() {
+		e, _ := q.Pop()
+		q.Push(event{timeSec: e.timeSec, kind: evFinish, seq: seq})
+		seq++
+	})
+	if allocs < 1 {
+		t.Logf("heap spec now allocates %.1f per cycle; boxing cost may have changed", allocs)
+	}
+}
+
+// TestSimulatePerJobAllocBudget bounds end-to-end allocation on the
+// fault-free DES hot path: a whole run must stay under a small per-job
+// budget (queue traffic is allocation-free, results live in arenas/slabs,
+// so what remains is cluster allocation state and pending-queue growth).
+func TestSimulatePerJobAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is not meaningful under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("allocation budget run in -short mode")
+	}
+	gcfg := workload.ScaledConfig(0.05)
+	gcfg.Seed = 3
+	gen, err := workload.NewGenerator(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Cluster.Nodes = 12
+	specs, _ := Feasible(cfg, gen.GenerateSpecs())
+	if len(specs) < 1000 {
+		t.Fatalf("population too small for a stable budget: %d jobs", len(specs))
+	}
+	allocs := testing.AllocsPerRun(2, func() {
+		if _, _, err := Simulate(cfg, specs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perJob := allocs / float64(len(specs))
+	// Budget: ~6 allocations/job measured post-optimization (cluster share
+	// bookkeeping, pending-queue growth, map growth), with 2x headroom
+	// against noise. The pre-calendar-queue loop sat near 8/job from event
+	// boxing alone, so 12 still catches a wholesale regression.
+	const budget = 12.0
+	if perJob > budget {
+		t.Fatalf("Simulate allocates %.1f objects/job (%.0f total for %d jobs), budget %.0f",
+			perJob, allocs, len(specs), budget)
+	}
+	t.Logf("Simulate: %.2f allocs/job over %d jobs", perJob, len(specs))
+}

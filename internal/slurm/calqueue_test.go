@@ -1,0 +1,143 @@
+package slurm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// popBoth pops both queues and asserts they agree exactly.
+func popBoth(t *testing.T, cal *calQueue, spec *heapEventQueue) (event, bool) {
+	t.Helper()
+	ec, okc := cal.Pop()
+	es, oks := spec.Pop()
+	if okc != oks || ec != es {
+		t.Fatalf("queues diverged: calendar %+v (ok=%v), heap %+v (ok=%v)", ec, okc, es, oks)
+	}
+	if cal.Len() != spec.Len() {
+		t.Fatalf("length diverged: calendar %d, heap %d", cal.Len(), spec.Len())
+	}
+	return ec, okc
+}
+
+// drainBoth empties both queues in lockstep.
+func drainBoth(t *testing.T, cal *calQueue, spec *heapEventQueue) {
+	t.Helper()
+	for {
+		if _, ok := popBoth(t, cal, spec); !ok {
+			return
+		}
+	}
+}
+
+// TestCalQueueRandomizedVsHeap interleaves random pushes and pops on the
+// calendar queue and the heap spec, with heavy same-timestamp collisions
+// (quantized times) and occasional far-future outliers, and checks every pop
+// agrees. Deterministic seeds; the fuzz target explores beyond them.
+func TestCalQueueRandomizedVsHeap(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		rng := rand.New(rand.NewSource(seed))
+		cal := newCalQueue(nil)
+		spec := naiveNewEventQueue(nil)
+		seq := 0
+		push := func(tsec float64) {
+			e := event{
+				timeSec: tsec,
+				kind:    eventKind(rng.Intn(6)),
+				idx:     rng.Intn(64),
+				seq:     seq,
+			}
+			seq++
+			cal.Push(e)
+			spec.Push(e)
+		}
+		now := 0.0
+		for op := 0; op < 20000; op++ {
+			switch r := rng.Intn(10); {
+			case r < 5:
+				// Quantized times: 1-in-8 land on an existing instant.
+				push(now + float64(rng.Intn(256))*37.5)
+			case r == 5:
+				// Far-future outlier, deep past the live window.
+				push(now + 1e6 + float64(rng.Intn(1000))*1e4)
+			case r == 6:
+				// Exactly "now": collides with the last popped instant.
+				push(now)
+			default:
+				if e, ok := popBoth(t, cal, spec); ok {
+					now = e.timeSec
+				}
+			}
+		}
+		drainBoth(t, cal, spec)
+	}
+}
+
+// TestCalQueueSparseJump exercises the direct-search fallback: a handful of
+// events separated by gaps far wider than one ring revolution.
+func TestCalQueueSparseJump(t *testing.T) {
+	cal := newCalQueue(nil)
+	spec := naiveNewEventQueue(nil)
+	for i := 0; i < 10; i++ {
+		e := event{timeSec: float64(i) * 1e8, kind: evFinish, seq: i}
+		cal.Push(e)
+		spec.Push(e)
+	}
+	drainBoth(t, cal, spec)
+}
+
+// TestCalQueueResizeChurn drives the queue through both resize directions:
+// grow far past the initial geometry, then drain to force shrink rebuilds.
+func TestCalQueueResizeChurn(t *testing.T) {
+	initial := make([]event, 128)
+	for i := range initial {
+		initial[i] = event{timeSec: float64(i), kind: evSubmit, seq: i}
+	}
+	cal := newCalQueue(initial)
+	spec := naiveNewEventQueue(initial)
+	for i := 0; i < 30000; i++ {
+		e := event{timeSec: float64(128 + i%4096), kind: evFinish, seq: 128 + i}
+		cal.Push(e)
+		spec.Push(e)
+	}
+	for i := 0; i < 25000; i++ {
+		popBoth(t, cal, spec)
+	}
+	for i := 0; i < 1000; i++ {
+		e := event{timeSec: 5000 + float64(i)*0.25, kind: evRequeue, seq: 40000 + i}
+		cal.Push(e)
+		spec.Push(e)
+	}
+	drainBoth(t, cal, spec)
+}
+
+// TestCalQueueInitialOrder checks the constructor path alone: a batch of
+// initial events (duplicated instants included) pops in exactly the
+// event.before order.
+func TestCalQueueInitialOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	initial := make([]event, 5000)
+	for i := range initial {
+		initial[i] = event{
+			timeSec: float64(rng.Intn(500)) * 61.7,
+			kind:    eventKind(rng.Intn(6)),
+			seq:     i,
+		}
+	}
+	cal := newCalQueue(initial)
+	spec := naiveNewEventQueue(initial)
+	if cal.Len() != len(initial) {
+		t.Fatalf("Len = %d after init, want %d", cal.Len(), len(initial))
+	}
+	var prev event
+	first := true
+	for {
+		e, ok := popBoth(t, cal, spec)
+		if !ok {
+			break
+		}
+		if !first && e.before(prev) {
+			t.Fatalf("order violation: %+v popped after %+v", e, prev)
+		}
+		prev, first = e, false
+	}
+}

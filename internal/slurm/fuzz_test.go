@@ -1,0 +1,76 @@
+package slurm
+
+import "testing"
+
+// FuzzCalQueue cross-checks the calendar queue against the container/heap
+// spec under adversarial push/pop interleavings decoded from the fuzz input.
+// Each operation consumes two bytes: an opcode byte and a time byte. Opcode
+// b%4==0 pops (both queues must agree exactly); anything else pushes an
+// event whose timestamp is decoded to force same-instant collisions (coarse
+// quantization), pushes behind the cursor (absolute times, not offsets from
+// "now" — something the DES never does but the queue must survive), and
+// far-future outliers that trip the direct-search fallback.
+//
+// Seed corpus lives in testdata/fuzz/FuzzCalQueue; run `make fuzz` (or
+// `go test -fuzz FuzzCalQueue ./internal/slurm`) to explore further.
+func FuzzCalQueue(f *testing.F) {
+	// Collision-heavy interleaving: pushes at a few quantized instants with
+	// pops mixed in.
+	f.Add([]byte{1, 10, 2, 10, 3, 10, 0, 0, 1, 200, 0, 0, 0, 0, 0, 0})
+	// Far-future outliers around steady pops.
+	f.Add([]byte{1, 255, 1, 254, 0, 0, 1, 1, 0, 0, 0, 0})
+	// Pop-from-empty and immediate refill.
+	f.Add([]byte{0, 0, 0, 0, 1, 7, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cal := newCalQueue(nil)
+		spec := naiveNewEventQueue(nil)
+		seq := 0
+		for i := 0; i+1 < len(data); i += 2 {
+			op, tb := data[i], data[i+1]
+			if op%4 == 0 {
+				ec, okc := cal.Pop()
+				es, oks := spec.Pop()
+				if okc != oks || ec != es {
+					t.Fatalf("pop diverged: calendar %+v (ok=%v), heap %+v (ok=%v)",
+						ec, okc, es, oks)
+				}
+				continue
+			}
+			var tsec float64
+			switch {
+			case tb >= 250:
+				// Outlier far past the live window: forces the fallback scan.
+				tsec = float64(tb) * 1e7
+			case tb >= 128:
+				// Fine-grained: distinct instants stressing bucket inserts.
+				tsec = float64(tb) * 3.140625
+			default:
+				// Coarse quantization: heavy same-instant collisions.
+				tsec = float64(tb/8) * 512
+			}
+			e := event{
+				timeSec: tsec,
+				kind:    eventKind(op % 6),
+				idx:     int(op),
+				seq:     seq,
+			}
+			seq++
+			cal.Push(e)
+			spec.Push(e)
+		}
+		for {
+			ec, okc := cal.Pop()
+			es, oks := spec.Pop()
+			if okc != oks || ec != es {
+				t.Fatalf("drain diverged: calendar %+v (ok=%v), heap %+v (ok=%v)",
+					ec, okc, es, oks)
+			}
+			if !okc {
+				break
+			}
+		}
+		if cal.Len() != 0 {
+			t.Fatalf("calendar queue reports %d events after drain", cal.Len())
+		}
+	})
+}

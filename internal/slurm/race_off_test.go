@@ -1,0 +1,8 @@
+//go:build !race
+
+package slurm
+
+// raceEnabled reports whether the race detector instruments this build.
+// The allocation-count guards skip under -race: the detector's shadow
+// allocations make testing.AllocsPerRun meaningless.
+const raceEnabled = false

@@ -1,0 +1,285 @@
+package slurm
+
+// Sharded simulation: the cluster is partitioned into independent node-group
+// sub-clusters and the workload is spread across them, so one huge run
+// becomes several smaller runs that execute concurrently. Shards advance
+// through conservative time windows — every shard finishes processing all
+// events below a window boundary before any shard crosses it — the classic
+// conservative-synchronization discipline of parallel DES. Because shards
+// here share no state (disjoint nodes, disjoint jobs, private RNG streams),
+// the barrier never changes any shard's event order; it is what makes the
+// mode's central guarantee trivial to prove and cheap to test: output is
+// bit-identical for ANY worker count and ANY window size, because each
+// shard's trajectory is fixed at assignment time and the merge folds shard
+// results in shard-index order, never in completion order.
+//
+// With Shards==1 the partition is the whole cluster, seeds are left
+// untouched, and the run is byte-identical to Simulate — the differential
+// harness pins that down.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/dist"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// DefaultShardWindowSec is the conservative synchronization window used when
+// Sharding.WindowSec is unset: one simulated hour per barrier round.
+const DefaultShardWindowSec = 3600
+
+// Sharding configures the sharded simulation mode.
+type Sharding struct {
+	// Shards is the number of node-group partitions; 1 (or 0) degenerates to
+	// the ordinary single-simulator run.
+	Shards int
+	// Workers bounds how many shards execute concurrently inside one window
+	// round; <=0 uses GOMAXPROCS. Output is bit-identical for any value.
+	Workers int
+	// WindowSec is the conservative synchronization window; <=0 uses
+	// DefaultShardWindowSec.
+	WindowSec float64
+}
+
+func (sh Sharding) workers(shards int) int {
+	w := sh.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > shards {
+		w = shards
+	}
+	return w
+}
+
+func (sh Sharding) window() float64 {
+	if sh.WindowSec > 0 {
+		return sh.WindowSec
+	}
+	return DefaultShardWindowSec
+}
+
+// ShardedRun is a completed sharded simulation.
+type ShardedRun struct {
+	// Specs holds each shard's assigned (and shard-feasible) specs in the
+	// deterministic round-robin order; Results and ShardStats line up with it.
+	Specs      [][]workload.JobSpec
+	Results    []map[int64]*Result
+	ShardStats []Stats
+	// Merged folds the shard stats in shard-index order.
+	Merged Stats
+	// Rejected are specs no shard could ever satisfy — jobs whose request
+	// exceeds a sub-cluster's capacity even though the unsharded cluster
+	// could hold them. Callers report them with the submit-time rejections.
+	Rejected []workload.JobSpec
+	// Windows counts the synchronization rounds the run executed.
+	Windows int
+
+	sims []*Simulator
+}
+
+// SimulateSharded partitions cfg.Cluster into sh.Shards node groups, assigns
+// specs round-robin (falling back to the next shard that can satisfy a job's
+// request, rejecting jobs no shard can hold), and runs the shard simulators
+// through conservative time windows on a bounded worker pool.
+//
+// Shard seeds: with Shards>1 each shard salts MonitorSeed and FaultSeed with
+// its index via dist.StreamSeed, so shards draw independent noise and failure
+// streams; with Shards==1 seeds pass through untouched and the run is
+// byte-identical to Simulate(cfg, specs).
+func SimulateSharded(ctx context.Context, cfg Config, specs []workload.JobSpec, sh Sharding) (*ShardedRun, error) {
+	nshards := sh.Shards
+	if nshards < 1 {
+		nshards = 1
+	}
+	subClusters, err := cluster.PartitionNodes(cfg.Cluster, nshards)
+	if err != nil {
+		return nil, err
+	}
+	shardCfgs := make([]Config, nshards)
+	for i := range shardCfgs {
+		scfg := cfg
+		scfg.Cluster = subClusters[i]
+		if nshards > 1 {
+			scfg.MonitorSeed = dist.StreamSeed(cfg.MonitorSeed, uint64(i))
+			scfg.FaultSeed = dist.StreamSeed(cfg.FaultSeed, uint64(i))
+		}
+		shardCfgs[i] = scfg
+	}
+
+	run := &ShardedRun{
+		Specs:      make([][]workload.JobSpec, nshards),
+		Results:    make([]map[int64]*Result, nshards),
+		ShardStats: make([]Stats, nshards),
+		sims:       make([]*Simulator, nshards),
+	}
+	// Deterministic round-robin assignment with feasibility fallback: spec i
+	// starts at shard i%n and scans forward for the first shard whose
+	// sub-cluster can ever grant its request. Two passes: placements first,
+	// then exact-capacity fills — JobSpec is a fat struct, and growing the
+	// shard slices by appending would memmove the population log(n) times.
+	placement := make([]int32, len(specs))
+	counts := make([]int, nshards)
+	rejected := 0
+	for i := range specs {
+		placement[i] = -1
+		for probe := 0; probe < nshards; probe++ {
+			shard := (i + probe) % nshards
+			if feasible(shardCfgs[shard], &specs[i]) {
+				placement[i] = int32(shard)
+				counts[shard]++
+				break
+			}
+		}
+		if placement[i] < 0 {
+			rejected++
+		}
+	}
+	for shard, c := range counts {
+		run.Specs[shard] = make([]workload.JobSpec, 0, c)
+	}
+	if rejected > 0 {
+		run.Rejected = make([]workload.JobSpec, 0, rejected)
+	}
+	for i := range specs {
+		if shard := placement[i]; shard >= 0 {
+			run.Specs[shard] = append(run.Specs[shard], specs[i])
+		} else {
+			run.Rejected = append(run.Rejected, specs[i])
+		}
+	}
+
+	for i := range run.sims {
+		sim, err := NewSimulator(shardCfgs[i])
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if err := sim.prepare(run.Specs[i]); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		run.sims[i] = sim
+	}
+
+	window := sh.window()
+	workers := sh.workers(nshards)
+	sem := make(chan struct{}, workers)
+	errs := make([]error, nshards)
+	for {
+		// The conservative barrier: the boundary is the next window edge past
+		// the globally earliest pending event, so empty windows are skipped
+		// in one step rather than iterated.
+		minNext := math.Inf(1)
+		for _, sim := range run.sims {
+			if t, ok := sim.nextEventTime(); ok && t < minNext {
+				minNext = t
+			}
+		}
+		if math.IsInf(minNext, 1) {
+			break
+		}
+		boundary := (math.Floor(minNext/window) + 1) * window
+		for boundary <= minNext {
+			// Float guard: an event exactly on (or rounded onto) the edge
+			// must land strictly inside the next window.
+			boundary += window
+		}
+		var wg sync.WaitGroup
+		for i, sim := range run.sims {
+			if t, ok := sim.nextEventTime(); !ok || t >= boundary {
+				continue // nothing for this shard below the barrier
+			}
+			wg.Add(1)
+			go func(i int, sim *Simulator) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				_, errs[i] = sim.runUntil(ctx, boundary)
+			}(i, sim)
+		}
+		wg.Wait()
+		run.Windows++
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+		}
+	}
+
+	for i, sim := range run.sims {
+		results, st, err := sim.finalize()
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		run.Results[i] = results
+		run.ShardStats[i] = st
+		run.Merged.Merge(st)
+	}
+	return run, nil
+}
+
+// Merge folds another shard's stats into s. Counters add; MaxQueueLen is the
+// max over shards (per-shard queues are disjoint, so the true cluster-wide
+// instantaneous maximum is not recoverable — this is the conservative lower
+// bound); HorizonSec is the latest shard drain. Callers must fold shards in
+// shard-index order so the float sums are bit-identical across runs.
+func (s *Stats) Merge(o Stats) {
+	s.Completed += o.Completed
+	if o.MaxQueueLen > s.MaxQueueLen {
+		s.MaxQueueLen = o.MaxQueueLen
+	}
+	s.GPUBusyHours += o.GPUBusyHours
+	if o.HorizonSec > s.HorizonSec {
+		s.HorizonSec = o.HorizonSec
+	}
+	s.TotalGPUs += o.TotalGPUs
+	s.MonitorOverflow += o.MonitorOverflow
+	s.SchedulePasses += o.SchedulePasses
+	s.AllocAttempts += o.AllocAttempts
+	s.AllocCacheHits += o.AllocCacheHits
+	s.EventsProcessed += o.EventsProcessed
+	s.NodeCrashes += o.NodeCrashes
+	s.NodeDrains += o.NodeDrains
+	s.NodeRepairs += o.NodeRepairs
+	s.GPUFatals += o.GPUFatals
+	s.Requeues += o.Requeues
+	s.JobsAbandoned += o.JobsAbandoned
+	s.LostGPUHours += o.LostGPUHours
+	s.RecoveredGPUHours += o.RecoveredGPUHours
+	s.DownGPUHours += o.DownGPUHours
+	s.MonitorDropped += o.MonitorDropped
+	s.MonitorStalled += o.MonitorStalled
+}
+
+// WaitAgg aggregates every completed job's queue wait across shards in
+// shard-index order (submit order within a shard): the stats.Agg merge
+// discipline the replication engine established, here proving the sharded
+// run's output is bit-identical for any worker count.
+func (r *ShardedRun) WaitAgg() stats.Agg {
+	var agg stats.Agg
+	for i := range r.Specs {
+		for j := range r.Specs[i] {
+			if res, ok := r.Results[i][r.Specs[i][j].ID]; ok {
+				agg.Add(res.WaitSec)
+			}
+		}
+	}
+	return agg
+}
+
+// BuildDataset assembles the joined dataset across shards in shard-index
+// order, so downstream characterization sees one deterministic record stream
+// regardless of how many workers executed the run.
+func (r *ShardedRun) BuildDataset(durationDays float64) *trace.Dataset {
+	ds := trace.NewDataset(durationDays)
+	for i, sim := range r.sims {
+		sim.appendDataset(ds, r.Specs[i], r.Results[i])
+	}
+	return ds
+}

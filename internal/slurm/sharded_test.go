@@ -1,0 +1,213 @@
+package slurm
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/workload"
+)
+
+// shardedPopulation builds a generated workload plus the config the sharded
+// tests share.
+func shardedPopulation(t *testing.T, seed uint64, nodes int, plan faults.Plan) (Config, []workload.JobSpec) {
+	t.Helper()
+	gcfg := workload.ScaledConfig(0.02)
+	gcfg.Seed = seed
+	gen, err := workload.NewGenerator(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Cluster.Nodes = nodes
+	cfg.Faults = plan
+	cfg.FaultSeed = seed
+	specs, _ := Feasible(cfg, gen.GenerateSpecs())
+	return cfg, specs
+}
+
+// shardedJSON serializes a sharded run's merged dataset.
+func shardedJSON(t *testing.T, run *ShardedRun) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run.BuildDataset(125).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestShardedSingleShardMatchesSimulate pins the degenerate case: one shard
+// is the whole cluster with untouched seeds, so the sharded runner must be
+// byte-identical to the plain Simulate path — stats, per-job results, and
+// serialized dataset.
+func TestShardedSingleShardMatchesSimulate(t *testing.T) {
+	cfg, specs := shardedPopulation(t, 5, 8, faults.Plan{
+		NodeCrashMTBFHours: 200, GPUFatalMTBFHours: 600, MeanRepairHours: 2,
+	})
+
+	sim, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainRes, plainSt, err := sim.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plainBuf bytes.Buffer
+	if err := sim.BuildDataset(specs, plainRes, 125).WriteJSON(&plainBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	run, err := SimulateSharded(context.Background(), cfg, specs, Sharding{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Rejected) != 0 {
+		t.Fatalf("single shard rejected %d pre-gated jobs", len(run.Rejected))
+	}
+	if run.Merged != plainSt {
+		t.Errorf("stats diverged:\n plain   %+v\n sharded %+v", plainSt, run.Merged)
+	}
+	assertResultsEqual(t, plainRes, run.Results[0])
+	if !bytes.Equal(plainBuf.Bytes(), shardedJSON(t, run)) {
+		t.Error("dataset serialization diverged between Simulate and single-shard run")
+	}
+}
+
+// waitAggFingerprint reduces a run's wait aggregate to comparable scalars.
+type waitAggFingerprint struct {
+	n                        int
+	mean, stddev, min, max   float64
+	completed                int
+	events                   int64
+	gpuBusyHours, horizonSec float64
+}
+
+func fingerprintRun(run *ShardedRun) waitAggFingerprint {
+	agg := run.WaitAgg()
+	return waitAggFingerprint{
+		n: agg.N(), mean: agg.Mean(), stddev: agg.StdDev(), min: agg.Min(), max: agg.Max(),
+		completed:    run.Merged.Completed,
+		events:       run.Merged.EventsProcessed,
+		gpuBusyHours: run.Merged.GPUBusyHours,
+		horizonSec:   run.Merged.HorizonSec,
+	}
+}
+
+// TestShardedWorkerCountBitIdentity is the PR's central parallelism claim:
+// 1, 2, 4 and 8 workers (and different window sizes) produce bit-identical
+// merged stats, wait aggregates, and dataset bytes for the same shard count.
+func TestShardedWorkerCountBitIdentity(t *testing.T) {
+	for _, plan := range []faults.Plan{
+		{},
+		{NodeCrashMTBFHours: 150, NodeDrainMTBFHours: 300, GPUFatalMTBFHours: 500, MeanRepairHours: 2},
+	} {
+		cfg, specs := shardedPopulation(t, 9, 8, plan)
+		var (
+			refFP   waitAggFingerprint
+			refJSON []byte
+			refSt   Stats
+		)
+		for i, variant := range []Sharding{
+			{Shards: 4, Workers: 1},
+			{Shards: 4, Workers: 2},
+			{Shards: 4, Workers: 4},
+			{Shards: 4, Workers: 8},
+			{Shards: 4, Workers: 2, WindowSec: 600},
+			{Shards: 4, Workers: 8, WindowSec: 7 * 3600},
+		} {
+			run, err := SimulateSharded(context.Background(), cfg, specs, variant)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp := fingerprintRun(run)
+			js := shardedJSON(t, run)
+			if i == 0 {
+				refFP, refJSON, refSt = fp, js, run.Merged
+				continue
+			}
+			if fp != refFP {
+				t.Errorf("variant %+v fingerprint diverged:\n ref %+v\n got %+v", variant, refFP, fp)
+			}
+			if run.Merged != refSt {
+				t.Errorf("variant %+v merged stats diverged", variant)
+			}
+			if !bytes.Equal(js, refJSON) {
+				t.Errorf("variant %+v dataset bytes diverged", variant)
+			}
+		}
+	}
+}
+
+// TestShardedAssignmentDeterministic re-runs the same sharded simulation and
+// expects identical shard spec assignment and identical per-shard stats.
+func TestShardedAssignmentDeterministic(t *testing.T) {
+	cfg, specs := shardedPopulation(t, 13, 8, faults.Plan{})
+	a, err := SimulateSharded(context.Background(), cfg, specs, Sharding{Shards: 3, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateSharded(context.Background(), cfg, specs, Sharding{Shards: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Specs {
+		if len(a.Specs[i]) != len(b.Specs[i]) {
+			t.Fatalf("shard %d: %d vs %d specs", i, len(a.Specs[i]), len(b.Specs[i]))
+		}
+		for j := range a.Specs[i] {
+			if a.Specs[i][j].ID != b.Specs[i][j].ID {
+				t.Fatalf("shard %d spec %d: job %d vs %d", i, j, a.Specs[i][j].ID, b.Specs[i][j].ID)
+			}
+		}
+		if a.ShardStats[i] != b.ShardStats[i] {
+			t.Fatalf("shard %d stats diverged", i)
+		}
+	}
+}
+
+// TestShardedRejectsOversizeJobs: a job feasible on the whole cluster but too
+// large for any sub-cluster is rejected, not deadlocked.
+func TestShardedRejectsOversizeJobs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cluster.Nodes = 8 // 16 GPUs total, 4 per 2-node shard
+	big := mkGPUSpec(t, 900, 0, 600, 10)
+	small := mkGPUSpec(t, 901, 0, 600, 2)
+	specs, rejected := Feasible(cfg, []workload.JobSpec{big, small})
+	if len(rejected) != 0 {
+		t.Fatalf("submit-time gate rejected %d jobs; the whole cluster fits both", len(rejected))
+	}
+	run, err := SimulateSharded(context.Background(), cfg, specs, Sharding{Shards: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Rejected) != 1 || run.Rejected[0].ID != 900 {
+		t.Fatalf("rejected = %+v, want exactly the 10-GPU job", run.Rejected)
+	}
+	if run.Merged.Completed != 1 {
+		t.Fatalf("completed = %d, want the 2-GPU job", run.Merged.Completed)
+	}
+}
+
+// TestShardedSaltsShardSeeds: with more than one shard, fault streams must
+// differ per shard (salted via dist.StreamSeed), not replay shard 0's
+// failures everywhere.
+func TestShardedSaltsShardSeeds(t *testing.T) {
+	plan := faults.Plan{NodeCrashMTBFHours: 50, MeanRepairHours: 1}
+	cfg, specs := shardedPopulation(t, 21, 8, plan)
+	run, err := SimulateSharded(context.Background(), cfg, specs, Sharding{Shards: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.ShardStats[0].NodeCrashes+run.ShardStats[1].NodeCrashes == 0 {
+		t.Skip("no crashes drawn; plan too mild for this population")
+	}
+	// Same sub-cluster size, same workload shape — identical crash *times*
+	// would mean the streams were not salted. Stats can't see times, but
+	// identical crash counts AND identical horizons on both shards would be
+	// an (astronomically unlikely) coincidence under independent streams.
+	if run.ShardStats[0] == run.ShardStats[1] {
+		t.Fatal("shard stats are identical; per-shard fault streams look unsalted")
+	}
+}

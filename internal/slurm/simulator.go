@@ -14,9 +14,9 @@
 package slurm
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
+	"math"
 
 	"repro/internal/cluster"
 	"repro/internal/faults"
@@ -82,6 +82,15 @@ type Config struct {
 	// Monitor), so collector faults and cluster faults can run in the same
 	// experiment.
 	MonitorFaults monitor.FaultPlan
+	// SpecEventQueue runs the simulation on the container/heap reference
+	// event queue (the executable spec in naive.go) instead of the calendar
+	// queue. The differential equivalence harness drives both and asserts
+	// byte-identical output; production runs never set it.
+	SpecEventQueue bool
+	// AuditEvents shadows the calendar queue with the heap spec and cross-
+	// checks every dequeue at runtime. Test/debug only — it doubles the
+	// queue work the calendar queue exists to avoid.
+	AuditEvents bool
 }
 
 // DefaultConfig returns a paper-shaped configuration without monitoring.
@@ -123,9 +132,10 @@ type Stats struct {
 	TotalGPUs       int
 	MonitorOverflow int
 	// Scheduler hot-path counters (perf observability, not figures).
-	SchedulePasses int64 // queue scans triggered by events
-	AllocAttempts  int64 // TryAllocate calls issued by the policy loop
-	AllocCacheHits int64 // pending jobs skipped via the blocked-verdict cache
+	SchedulePasses  int64 // queue scans triggered by events
+	AllocAttempts   int64 // TryAllocate calls issued by the policy loop
+	AllocCacheHits  int64 // pending jobs skipped via the blocked-verdict cache
+	EventsProcessed int64 // events popped off the queue by the hot loop
 	// Fault-injection and recovery outcomes (all zero without a fault plan).
 	NodeCrashes       int
 	NodeDrains        int
@@ -187,6 +197,31 @@ const (
 	evRequeue
 )
 
+// before reports whether e precedes o in the global event order: time, then
+// kind rank, then sequence. Sequence numbers are unique, so the order is
+// total — every correct priority queue (the calendar queue, the heap spec)
+// pops the exact same event sequence, which is what makes the differential
+// harness's byte-identity claim meaningful.
+func (e event) before(o event) bool {
+	if e.timeSec != o.timeSec {
+		return e.timeSec < o.timeSec
+	}
+	if ra, rb := e.kind.rank(), o.kind.rank(); ra != rb {
+		return ra < rb
+	}
+	return e.seq < o.seq
+}
+
+// eventQueue is the simulator's future-event set. Implementations must
+// dequeue in exactly the total order event.before defines; the calendar
+// queue is the production structure, the heap in naive.go the spec, and
+// eventAudit the lockstep cross-check of the two.
+type eventQueue interface {
+	Len() int
+	Push(event)
+	Pop() (event, bool)
+}
+
 // rank orders same-instant events: capacity returns (finishes, repairs)
 // before capacity leaves (node faults, job kills), and both before the queue
 // grows (requeues, submits) — so each scheduling pass sees settled cluster
@@ -208,23 +243,6 @@ func (k eventKind) rank() int {
 		return 5
 	}
 }
-
-// eventHeap orders events by time, then kind rank, then sequence.
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(a, b int) bool {
-	if h[a].timeSec != h[b].timeSec {
-		return h[a].timeSec < h[b].timeSec
-	}
-	if ra, rb := h[a].kind.rank(), h[b].kind.rank(); ra != rb {
-		return ra < rb
-	}
-	return h[a].seq < h[b].seq
-}
-func (h eventHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 // Simulator runs job specs through the scheduler.
 type Simulator struct {
@@ -254,10 +272,25 @@ type Simulator struct {
 	blockedEpoch      []uint64
 	blockedRestricted []bool
 
-	events    eventHeap
+	events eventQueue
+	// next buffers one popped-but-unprocessed event so the sharded window
+	// scheduler can peek the next event time without an extra queue API.
+	next      event
+	hasNext   bool
 	seq       int
+	processed int64
 	now       float64
 	results   map[int64]*Result
+	// resArena backs every *Result in results with one per-run allocation;
+	// start() reuses each slot's GPU/share slices across fault-requeue
+	// attempts instead of reallocating them.
+	resArena []Result
+	// Slab allocators for the result slices: per-job GPU and share lists are
+	// cut from large chunks, so a run performs a handful of allocations
+	// instead of two per started job — and the chunks are pointer-dense
+	// regions the GC scans once instead of half a million tiny objects.
+	gpuSlab   []gpu.DeviceID
+	shareSlab []cluster.NodeShare
 	monitors  map[int64]*monitor.JobMonitor
 	stats     Stats
 	busyGPUs  int
@@ -328,33 +361,82 @@ const ctxCheckInterval = 1024
 // ctx.Err() every ctxCheckInterval events, so engine.Run's cancellation stops
 // an in-flight simulation instead of only skipping future replicates.
 func (s *Simulator) RunContext(ctx context.Context, specs []workload.JobSpec) (map[int64]*Result, Stats, error) {
+	if err := s.prepare(specs); err != nil {
+		return nil, s.stats, err
+	}
+	if _, err := s.runUntil(ctx, math.Inf(1)); err != nil {
+		return nil, s.stats, err
+	}
+	return s.finalize()
+}
+
+// prepare stages a run: per-job state, the initial submit events, the event
+// queue (calendar by default, heap spec or lockstep audit under the test
+// configs), and the fault machinery — which pushes each node's first outage
+// once the queue exists.
+func (s *Simulator) prepare(specs []workload.JobSpec) error {
 	s.specs = specs
 	n := len(specs)
 	s.results = make(map[int64]*Result, n)
+	s.resArena = make([]Result, n)
 	s.startedMark = make([]bool, n)
 	s.blockedEpoch = make([]uint64, n)
 	s.blockedRestricted = make([]bool, n)
-	// Specs arrive sorted by SubmitSec with ascending sequence numbers, so
-	// the appended slice is already heap-ordered; Init is O(n) regardless.
-	s.events = make(eventHeap, 0, n+1)
+	initial := make([]event, n)
 	for i := range specs {
-		s.events = append(s.events, event{timeSec: specs[i].SubmitSec, kind: evSubmit, idx: i, seq: s.seq})
+		initial[i] = event{timeSec: specs[i].SubmitSec, kind: evSubmit, idx: i, seq: s.seq}
 		s.seq++
 	}
-	heap.Init(&s.events)
-	// After the heap exists: setupFaults pushes each node's first outage.
-	if err := s.setupFaults(); err != nil {
-		return nil, s.stats, err
+	switch {
+	case s.cfg.AuditEvents:
+		s.events = newEventAudit(newCalQueue(initial), naiveNewEventQueue(initial))
+	case s.cfg.SpecEventQueue:
+		s.events = naiveNewEventQueue(initial)
+	default:
+		s.events = newCalQueue(initial)
 	}
-	processed := 0
-	for s.events.Len() > 0 {
-		if processed%ctxCheckInterval == 0 {
+	return s.setupFaults()
+}
+
+// peekNext exposes the next event without consuming it, buffering it in
+// s.next. The sharded window scheduler uses it to find the barrier time.
+func (s *Simulator) peekNext() (event, bool) {
+	if !s.hasNext {
+		e, ok := s.events.Pop()
+		if !ok {
+			return event{}, false
+		}
+		s.next, s.hasNext = e, true
+	}
+	return s.next, true
+}
+
+// nextEventTime reports the timestamp of the next queued event, if any.
+func (s *Simulator) nextEventTime() (float64, bool) {
+	e, ok := s.peekNext()
+	return e.timeSec, ok
+}
+
+// runUntil processes events with timestamps strictly below limit and reports
+// whether the queue drained. With limit=+Inf it is the whole event loop; the
+// sharded mode calls it with successive window boundaries so shards never run
+// ahead of a synchronization barrier.
+func (s *Simulator) runUntil(ctx context.Context, limit float64) (bool, error) {
+	for {
+		e, ok := s.peekNext()
+		if !ok {
+			return true, nil
+		}
+		if e.timeSec >= limit {
+			return false, nil
+		}
+		s.hasNext = false
+		if s.processed%ctxCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, s.stats, fmt.Errorf("slurm: run canceled after %d events: %w", processed, err)
+				return false, fmt.Errorf("slurm: run canceled after %d events: %w", s.processed, err)
 			}
 		}
-		processed++
-		e := heap.Pop(&s.events).(event)
+		s.processed++
 		s.advance(e.timeSec)
 		switch e.kind {
 		case evSubmit:
@@ -369,36 +451,41 @@ func (s *Simulator) RunContext(ctx context.Context, specs []workload.JobSpec) (m
 			}
 		case evFinish:
 			if err := s.finish(e); err != nil {
-				return nil, s.stats, err
+				return false, err
 			}
 		case evNodeFault:
 			if err := s.onNodeFault(e.idx); err != nil {
-				return nil, s.stats, err
+				return false, err
 			}
 		case evNodeRepair:
 			if err := s.onNodeRepair(e.idx); err != nil {
-				return nil, s.stats, err
+				return false, err
 			}
 		case evJobFatal:
 			if err := s.onJobFatal(e); err != nil {
-				return nil, s.stats, err
+				return false, err
 			}
 		case evRequeue:
 			s.onRequeue(e.idx)
 		}
 		if err := s.schedule(); err != nil {
-			return nil, s.stats, err
+			return false, err
 		}
 		if s.telemetry != nil {
 			s.telemetry.record(s.now, s.busyGPUs, s.pendingN, s.downGPUs)
 		}
 	}
+}
+
+// finalize checks the drain and closes out the run's aggregate stats.
+func (s *Simulator) finalize() (map[int64]*Result, Stats, error) {
 	if s.pendingN > 0 {
 		return nil, s.stats, fmt.Errorf("slurm: %d jobs still pending at drain", s.pendingN)
 	}
 	s.stats.Completed = len(s.results)
 	s.stats.HorizonSec = s.now
 	s.stats.TotalGPUs = s.cfg.Cluster.TotalGPUs()
+	s.stats.EventsProcessed = s.processed
 	if s.pipe != nil {
 		s.stats.MonitorOverflow = s.pipe.Overflows()
 		s.stats.MonitorDropped = s.pipe.DroppedSamples()
@@ -474,7 +561,13 @@ func Simulate(cfg Config, specs []workload.JobSpec) (map[int64]*Result, Stats, e
 func (s *Simulator) push(e event) {
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.events, e)
+	if s.hasNext {
+		// A peeked event is parked outside the queue; return it so the new
+		// event cannot jump ahead of the ordering contract.
+		s.events.Push(s.next)
+		s.hasNext = false
+	}
+	s.events.Push(e)
 }
 
 // advance moves simulated time forward, integrating GPU busy time and
@@ -632,14 +725,33 @@ func (s *Simulator) compactQueue(q []int) []int {
 // fatal error drawn against the attempt.
 func (s *Simulator) start(idx int, alloc *cluster.Allocation) {
 	sp := &s.specs[idx]
-	res := &Result{
+	// The result lives in the per-run arena; requeued attempts reuse the
+	// slot's GPU and share slices, and first attempts cut them from slabs.
+	res := &s.resArena[idx]
+	ngpus := 0
+	for i := range alloc.Shares {
+		ngpus += len(alloc.Shares[i].GPUIDs)
+	}
+	shares := res.Shares[:0]
+	if cap(shares) < len(alloc.Shares) {
+		shares = s.allocShares(len(alloc.Shares))
+	}
+	shares = append(shares, alloc.Shares...)
+	gpus := res.GPUs[:0]
+	if cap(gpus) < ngpus {
+		gpus = s.allocGPUs(ngpus)
+	}
+	for i := range alloc.Shares {
+		gpus = append(gpus, alloc.Shares[i].GPUIDs...)
+	}
+	*res = Result{
 		JobID:    sp.ID,
 		StartSec: s.now,
 		EndSec:   s.now + sp.RunSec,
 		WaitSec:  s.now - sp.SubmitSec,
 		NodeSpan: alloc.NodeSpan(),
-		GPUs:     alloc.GPUs(),
-		Shares:   append([]cluster.NodeShare(nil), alloc.Shares...),
+		GPUs:     gpus,
+		Shares:   shares,
 	}
 	finishEv := event{timeSec: res.EndSec, kind: evFinish, idx: idx}
 	if s.faultsOn {
@@ -673,6 +785,35 @@ func (s *Simulator) start(idx int, alloc *cluster.Allocation) {
 			s.cfg.PowerModel, sources, s.cfg.DetailedJobs[sp.ID])
 	}
 	s.push(finishEv)
+}
+
+// allocGPUs cuts an n-capacity GPU list from the slab, growing it by chunk.
+func (s *Simulator) allocGPUs(n int) []gpu.DeviceID {
+	if cap(s.gpuSlab)-len(s.gpuSlab) < n {
+		c := 1 << 14
+		if n > c {
+			c = n
+		}
+		s.gpuSlab = make([]gpu.DeviceID, 0, c)
+	}
+	off := len(s.gpuSlab)
+	s.gpuSlab = s.gpuSlab[:off+n]
+	return s.gpuSlab[off : off : off+n]
+}
+
+// allocShares cuts an n-capacity share list from the slab, growing it by
+// chunk.
+func (s *Simulator) allocShares(n int) []cluster.NodeShare {
+	if cap(s.shareSlab)-len(s.shareSlab) < n {
+		c := 1 << 13
+		if n > c {
+			c = n
+		}
+		s.shareSlab = make([]cluster.NodeShare, 0, c)
+	}
+	off := len(s.shareSlab)
+	s.shareSlab = s.shareSlab[:off+n]
+	return s.shareSlab[off : off : off+n]
 }
 
 // finish releases a completed job and runs the epilog. Under a fault plan it
@@ -717,6 +858,13 @@ func (s *Simulator) finish(e event) error {
 // §II join on job IDs.
 func (s *Simulator) BuildDataset(specs []workload.JobSpec, results map[int64]*Result, durationDays float64) *trace.Dataset {
 	ds := trace.NewDataset(durationDays)
+	s.appendDataset(ds, specs, results)
+	return ds
+}
+
+// appendDataset adds one run's records to an existing dataset, so the sharded
+// runner can merge per-shard simulators into a single dataset in shard order.
+func (s *Simulator) appendDataset(ds *trace.Dataset, specs []workload.JobSpec, results map[int64]*Result) {
 	hostModel := workload.DefaultHostLoadModel()
 	for i := range specs {
 		sp := &specs[i]
@@ -760,5 +908,4 @@ func (s *Simulator) BuildDataset(specs []workload.JobSpec, results map[int64]*Re
 			}
 		}
 	}
-	return ds
 }
