@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test short race race-sched race-analyze race-fault fuzz bench bench-pr3 bench-fault bench-pr6 bench-figures alloc-guard golden clean
+.PHONY: check build vet lint test short race race-sched race-analyze race-fault fuzz bench bench-pr3 bench-fault bench-pr6 bench-pr7 bench-figures alloc-guard golden clean
 
 check: lint build alloc-guard race-sched race-analyze race-fault race
 
@@ -57,12 +57,14 @@ race-fault:
 	$(GO) test -race -run 'Fault|FailureStorm|Requeue|Checkpoint|NodeCrash|NodeDrain|RunContext' 		./internal/slurm ./internal/engine ./internal/monitor ./internal/faults
 
 # Short fuzz session over every trace codec target, plus the calendar event
-# queue cross-checked against the heap spec (PR 6).
+# queue cross-checked against the heap spec (PR 6) and the P² quantile
+# estimator's invariants under arbitrary small/tied samples (PR 7).
 fuzz:
 	$(GO) test ./internal/trace -fuzz FuzzReadCSV -fuzztime 30s
 	$(GO) test ./internal/trace -fuzz FuzzReadJSON -fuzztime 30s
 	$(GO) test ./internal/trace -fuzz FuzzDatasetRoundTrip -fuzztime 30s
 	$(GO) test ./internal/slurm -fuzz FuzzCalQueue -fuzztime 30s
+	$(GO) test ./internal/predict -fuzz FuzzP2Quantile -fuzztime 30s
 
 # Scheduler-scaling benchmarks (PR 2): the Schedule/Simulate/Replicate trio
 # at 10k/100k/500k jobs, one timed run each, joined against the committed
@@ -100,6 +102,15 @@ bench-fault:
 bench-pr6:
 	$(GO) test -run '^$$' -bench '^Benchmark(Simulate|Schedule|SimulateSharded)$$' 		-benchtime 1x -timeout 2h . | tee bench/last_run_pr6.txt
 	$(GO) run ./cmd/benchjson -label post-calendar-queue 		-baseline bench/baseline_pr3.json < bench/last_run_pr6.txt > BENCH_PR6.json
+
+# Prediction-scheduling benchmarks (PR 7): BenchmarkPredictSched prices the
+# forecaster-driven backfill on the contended population; BenchmarkSchedule
+# and BenchmarkSimulate rerun with prediction disabled, and their speedup
+# columns against the PR 6 run guard the nil-predictor default path. Joined
+# against BENCH_PR6.json into BENCH_PR7.json.
+bench-pr7:
+	$(GO) test -run '^$$' -bench '^Benchmark(Simulate|Schedule|PredictSched)$$' 		-benchtime 1x -timeout 2h . | tee bench/last_run_pr7.txt
+	$(GO) run ./cmd/benchjson -label post-predictsched 		-baseline BENCH_PR6.json < bench/last_run_pr7.txt > BENCH_PR7.json
 
 # Allocation-count guards (PR 6, part of `make check`): the calendar queue's
 # steady-state zero-allocation property and the end-to-end per-job allocation

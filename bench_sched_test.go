@@ -188,6 +188,39 @@ func BenchmarkSchedule(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictSched prices prediction-aware backfill (PR 7) on the
+// contended population, where every scheduling pass walks a deep pending
+// queue and the predictor's estimate/shadow/refinement state is exercised on
+// every reservation. Compare against BenchmarkSchedule in the same run: that
+// benchmark is the conservative fence on identical inputs, so the delta IS
+// the prediction overhead. `make bench-pr7` also reruns the PR 2 trio, whose
+// unchanged numbers guard the disabled path (nil predictor, zero overhead).
+func BenchmarkPredictSched(b *testing.B) {
+	for _, sz := range schedSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			p := schedPopulation(b, sz.jobs)
+			cfg := slurm.DefaultConfig()
+			cfg.Cluster.Nodes = p.contendedNodes
+			cfg.Policy.Predict = slurm.DefaultPredictPolicy()
+			settleHeap(b)
+			var st slurm.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, st, err = slurm.Simulate(cfg, p.contended)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(st.Completed)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+			b.ReportMetric(float64(st.PredictedBackfills), "pred-backfills")
+			scored := st.PredictHits + st.PredictMisses
+			if scored > 0 {
+				b.ReportMetric(float64(st.PredictHits)/float64(scored), "hit-rate")
+			}
+		})
+	}
+}
+
 // shardedBenchSizes are the population sizes BenchmarkSimulateSharded sweeps:
 // the PR2 500k point (comparable against the heap-spec baseline) plus a 5M
 // point only the sharded mode makes tractable in one sitting.

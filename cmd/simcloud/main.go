@@ -63,6 +63,10 @@ func main() {
 		shards      = flag.Int("shards", 1, "partition the cluster into independent node-group shards (>1 enables the parallel sharded simulator)")
 		shardWork   = flag.Int("shard-workers", 0, "concurrent shard executors per window round (0 = GOMAXPROCS); output is identical for any value")
 		windowSec   = flag.Float64("window", 0, "conservative shard synchronization window in simulated seconds (0 = default)")
+		predictMode = flag.String("predict", "off", "backfill estimator: off (conservative fence), limit (requested wall-clock), forecast (online runtime forecasts with prefix refinement)")
+		predObs     = flag.Float64("predict-obs-scale", 1, "scale observed runtimes before they feed the forecaster (mispredict robustness knob: <1 under-estimates, >1 over-estimates)")
+		predFreeze  = flag.Int("predict-freeze", 0, "freeze per-user priors after this many observations (stale-prior robustness knob; 0 = never)")
+		reserveAge  = flag.Float64("reservation-age", 0, "blocked-job age (s) that arms a backfill reservation (0 = production default)")
 	)
 	flag.Parse()
 	sharding := slurm.Sharding{Shards: *shards, Workers: *shardWork, WindowSec: *windowSec}
@@ -83,6 +87,7 @@ func main() {
 		}
 		scfg := simConfig(*nodes, *scale, *colocate, *monInterval, *seed)
 		applyFaults(&scfg, plan, *faultSeed, *seed, *maxRetries)
+		applyPredict(&scfg, *predictMode, *predObs, *predFreeze, *reserveAge)
 		runReplicated(gcfg, scfg, sharding, *reps, *workers, *seed)
 		return
 	}
@@ -105,6 +110,7 @@ func main() {
 
 	scfg := simConfig(*nodes, *scale, *colocate, *monInterval, *seed)
 	applyFaults(&scfg, plan, *faultSeed, *seed, *maxRetries)
+	applyPredict(&scfg, *predictMode, *predObs, *predFreeze, *reserveAge)
 	var rejected []workload.JobSpec
 	specs, rejected = slurm.Feasible(scfg, specs)
 	if len(rejected) > 0 {
@@ -227,6 +233,24 @@ func main() {
 			shRun.Windows, agg.Mean(), agg.N())
 	}
 
+	if scfg.Policy.Predict.Enabled {
+		fmt.Fprintln(w)
+		tp := report.NewTable("prediction-aware backfill", "quantity", "value")
+		tp.AddRowF("predicted backfills", st.PredictedBackfills)
+		meanBackfillWait := 0.0
+		if st.PredictedBackfills > 0 {
+			meanBackfillWait = st.PredictedBackfillWaitSec / float64(st.PredictedBackfills)
+		}
+		tp.AddRowF("mean backfilled-job wait (s)", meanBackfillWait)
+		tp.AddRowF("prediction hits / misses", fmt.Sprintf("%d / %d", st.PredictHits, st.PredictMisses))
+		if scored := st.PredictHits + st.PredictMisses; scored > 0 {
+			tp.AddRowF("runtime forecast MAE (s)", st.PredictAbsErrSec/float64(scored))
+		}
+		if err := tp.Render(w); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	if !scfg.Faults.Empty() {
 		fmt.Fprintln(w)
 		if err := report.AvailabilitySummary(w, "fault injection: availability & goodput", st); err != nil {
@@ -294,6 +318,26 @@ func applyFaults(scfg *slurm.Config, plan faults.Plan, faultSeed, seed uint64, m
 	scfg.FaultSeed = faultSeed
 	scfg.Requeue = slurm.DefaultRequeuePolicy()
 	scfg.Requeue.MaxRetries = maxRetries
+}
+
+// applyPredict wires the -predict mode onto a scheduler configuration. The
+// default ("off") leaves the conservative reservation fence untouched, so
+// existing invocations stay byte-identical.
+func applyPredict(scfg *slurm.Config, mode string, obsScale float64, freeze int, reserveAge float64) {
+	switch mode {
+	case "off":
+	case "limit":
+		scfg.Policy.Predict = slurm.PredictPolicy{Enabled: true, UseRequestedLimit: true}
+	case "forecast":
+		scfg.Policy.Predict = slurm.DefaultPredictPolicy()
+		scfg.Policy.Predict.ObsScale = obsScale
+		scfg.Policy.Predict.FreezeAfterObs = freeze
+	default:
+		log.Fatalf("unknown -predict mode %q (want off, limit, or forecast)", mode)
+	}
+	if reserveAge > 0 {
+		scfg.Policy.ReservationAgeSec = reserveAge
+	}
 }
 
 // runReplicated fans the generator→scheduler→characterization pipeline

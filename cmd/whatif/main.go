@@ -45,7 +45,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("whatif: ")
 	var (
-		study   = flag.String("study", "all", "powercap | capping | twotier | reliability | colocate | incentive | checkpoint | mig | predict | faultsim | all")
+		study   = flag.String("study", "all", "powercap | capping | twotier | reliability | colocate | incentive | checkpoint | mig | predict | predictsched | faultsim | all")
 		scale   = flag.Float64("scale", 0.05, "population scale relative to the paper")
 		seed    = flag.Uint64("seed", 1, "generator seed")
 		reps    = flag.Int("reps", 1, "independently-seeded replications (>1 switches to the replicated report)")
@@ -73,19 +73,20 @@ func main() {
 	defer w.Flush()
 
 	studies := map[string]func(io.Writer, []workload.JobSpec, *trace.Dataset) error{
-		"powercap":    runPowerCap,
-		"capping":     runCapComparison,
-		"predict":     runPredict,
-		"incentive":   runIncentive,
-		"reliability": runReliability,
-		"twotier":     runTwoTier,
-		"colocate":    runColocate,
-		"checkpoint":  runCheckpoint,
-		"mig":         runMIG,
-		"faultsim":    runFaultSim,
+		"powercap":     runPowerCap,
+		"capping":      runCapComparison,
+		"predict":      runPredict,
+		"incentive":    runIncentive,
+		"reliability":  runReliability,
+		"twotier":      runTwoTier,
+		"colocate":     runColocate,
+		"checkpoint":   runCheckpoint,
+		"mig":          runMIG,
+		"faultsim":     runFaultSim,
+		"predictsched": runPredictSched,
 	}
 	if *study == "all" {
-		for _, name := range []string{"powercap", "capping", "twotier", "reliability", "colocate", "incentive", "checkpoint", "mig", "predict", "faultsim"} {
+		for _, name := range []string{"powercap", "capping", "twotier", "reliability", "colocate", "incentive", "checkpoint", "mig", "predict", "predictsched", "faultsim"} {
 			if err := studies[name](w, specs, ds); err != nil {
 				log.Fatal(err)
 			}
@@ -345,6 +346,67 @@ func runFaultSim(w io.Writer, specs []workload.JobSpec, ds *trace.Dataset) error
 	return t.Render(w)
 }
 
+// runPredictSched compares requested-limit vs prediction-aware backfill on
+// per-lifecycle-class wait CDFs (the ISSUE 7 study): the engine schedules
+// the shared population under the full policy ladder — conservative fence,
+// §IV requested-limit baseline, forecaster, and the mispredict-robustness
+// sweep — then prints the class-median/p90 waits, the scheduler's
+// prediction counters, and the accuracy-vs-prefix-length curves.
+func runPredictSched(w io.Writer, specs []workload.JobSpec, _ *trace.Dataset) error {
+	plan := engine.DefaultPredictSchedPlan(0, 7)
+	res, err := engine.RunPredictSched(context.Background(), plan, specs)
+	if err != nil {
+		return err
+	}
+	// The grid is fixed; locate the median and p90 columns once.
+	p50i, p90i := 0, 0
+	for i, p := range engine.WaitQuantilePs {
+		if p == 0.50 {
+			p50i = i
+		}
+		if p == 0.90 {
+			p90i = i
+		}
+	}
+	pt := report.NewTable("extension: prediction-aware backfill policy ladder",
+		"policy", "completed", "mean wait (s)", "pred backfills", "hits", "misses", "MAE (s)")
+	for _, pol := range res.Policies {
+		scored := pol.Stats.PredictHits + pol.Stats.PredictMisses
+		mae := 0.0
+		if scored > 0 {
+			mae = pol.Stats.PredictAbsErrSec / float64(scored)
+		}
+		pt.AddRowF(pol.Name, pol.Stats.Completed, pol.MeanWaitSec,
+			pol.Stats.PredictedBackfills, pol.Stats.PredictHits, pol.Stats.PredictMisses, mae)
+	}
+	if err := pt.Render(w); err != nil {
+		return err
+	}
+	ct := report.NewTable("per-lifecycle-class queue waits (median / p90 seconds)",
+		"policy", "class", "jobs", "p50", "p90")
+	for _, pol := range res.Policies {
+		for _, cw := range pol.ClassWaits {
+			if cw.Jobs == 0 {
+				continue
+			}
+			ct.AddRowF(pol.Name, cw.Category, cw.Jobs, cw.QuantileSec[p50i], cw.QuantileSec[p90i])
+		}
+	}
+	if err := ct.Render(w); err != nil {
+		return err
+	}
+	at := report.NewTable("online prediction accuracy vs prefix length",
+		"prefix samples", "decided", "class accuracy", "forecasts", "runtime MAE (s)")
+	for _, pt := range res.Accuracy {
+		at.AddRowF(pt.PrefixSamples, pt.Decided, report.Pct(pt.Accuracy), pt.Forecasts, pt.RuntimeMAESec)
+	}
+	if err := at.Render(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, "predicted runtimes unlock the backfill the requested limits forbid (Sec IV implication).")
+	return err
+}
+
 // extractor pulls one study's headline scalar metrics from a replication's
 // population, prefixing each metric with the study name so -study all can
 // merge every extractor into one sample.
@@ -472,6 +534,8 @@ func runReplicated(study string, cfg workload.Config, reps, workers int, seed ui
 		return fmt.Errorf("the MIG study is deterministic; replication adds nothing (drop -reps)")
 	} else if study == "faultsim" {
 		return fmt.Errorf("the faultsim study runs its own DES sweep; rerun with -reps 1 (vary -seed for independent draws)")
+	} else if study == "predictsched" {
+		return fmt.Errorf("the predictsched study runs its own DES policy ladder; rerun with -reps 1 (vary -seed for independent draws)")
 	} else {
 		return fmt.Errorf("unknown or non-replicable study %q", study)
 	}

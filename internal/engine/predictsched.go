@@ -1,0 +1,293 @@
+package engine
+
+// The predictsched study (ISSUE 7): requested-limit vs prediction-aware
+// backfill, end to end. One synthesized population is scheduled under a
+// ladder of prediction policies — the conservative reservation fence, the
+// §IV requested-limit baseline, the forecaster-driven policy, and a
+// mispredict-robustness sweep (systematically under- and over-estimating
+// users, priors frozen early) — and each run is reduced to per-lifecycle-
+// class queue-wait CDFs plus the scheduler's prediction counters. Alongside
+// the DES comparison, the study replays the population through the online
+// predictors at several prefix lengths to produce the accuracy-vs-prefix
+// curves of the Supercloud challenge's partial-telemetry task.
+//
+// Everything here is deterministic: runs go through slurm.SimulateSharded
+// (bit-identical for any worker count; Shards=1 byte-identical to the plain
+// simulator), per-class waits are folded in shard-index order, the accuracy
+// replay walks specs in submit order, and the result holds only slices and
+// scalars — no maps — so a JSON serialization of the result is a fingerprint
+// the determinism tests can compare byte for byte.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/lifecycle"
+	"repro/internal/monitor"
+	"repro/internal/predict"
+	"repro/internal/slurm"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// WaitQuantilePs is the fixed grid the per-class wait CDFs are sampled on.
+var WaitQuantilePs = []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}
+
+// PredictSchedPlan parameterizes the study.
+type PredictSchedPlan struct {
+	// Gen synthesizes the population (used when RunPredictSched is given no
+	// specs).
+	Gen workload.Config
+	// Nodes down-scales the cluster so queues actually form; 0 keeps the
+	// paper's 224.
+	Nodes int
+	// ReservationAgeSec arms reservations inside the scaled horizon; 0 keeps
+	// the production 6 h.
+	ReservationAgeSec float64
+	// Sharding selects the simulation mode for every policy run.
+	Sharding slurm.Sharding
+	// PrefixKs are the prefix lengths (in monitor samples) of the accuracy
+	// curve; 0 entries mean "submit-time only". Empty uses {0,1,3,5,10,30}.
+	PrefixKs []int
+	// PrefixIntervalSec is the prefix sampling cadence (default 60 s).
+	PrefixIntervalSec float64
+	// MonitorSeed seeds the prefix-telemetry noise streams.
+	MonitorSeed uint64
+}
+
+// DefaultPredictSchedPlan returns a study plan at the given population scale.
+func DefaultPredictSchedPlan(scale float64, seed uint64) PredictSchedPlan {
+	gcfg := workload.ScaledConfig(scale)
+	gcfg.Seed = seed
+	return PredictSchedPlan{
+		Gen:               gcfg,
+		Nodes:             4,
+		ReservationAgeSec: 1800,
+		Sharding:          slurm.Sharding{Shards: 1},
+		PrefixIntervalSec: 60,
+		MonitorSeed:       seed,
+	}
+}
+
+// ClassWaitCDF is one lifecycle class's queue-wait distribution under one
+// policy: quantiles on the WaitQuantilePs grid.
+type ClassWaitCDF struct {
+	Category    string
+	Jobs        int
+	QuantileSec []float64
+}
+
+// PredictPolicyOutcome is one policy's reduced run.
+type PredictPolicyOutcome struct {
+	Name        string
+	Stats       slurm.Stats
+	MeanWaitSec float64
+	ClassWaits  []ClassWaitCDF
+}
+
+// PrefixAccuracyPoint is one prefix length's online-prediction quality,
+// evaluated with the predict→observe no-leakage replay.
+type PrefixAccuracyPoint struct {
+	PrefixSamples int
+	// Classifier quality over GPU jobs whose class the model would decide.
+	Decided  int
+	Correct  int
+	Accuracy float64
+	// Runtime forecast quality: the class-median estimate when the prefix
+	// classifier decides, the submit-time cascade otherwise.
+	Forecasts     int
+	RuntimeMAESec float64
+}
+
+// PredictSchedResult is the study's full, JSON-serializable output.
+type PredictSchedResult struct {
+	Jobs     int
+	Policies []PredictPolicyOutcome
+	Accuracy []PrefixAccuracyPoint
+}
+
+// predictPolicyLadder is the fixed policy sweep: baseline fences, the
+// forecaster, and the mispredict-robustness variants.
+func predictPolicyLadder(plan PredictSchedPlan) []struct {
+	name string
+	pol  slurm.PredictPolicy
+} {
+	iv := plan.PrefixIntervalSec
+	if iv <= 0 {
+		iv = 60
+	}
+	forecast := slurm.PredictPolicy{Enabled: true, PrefixSamples: 8, PrefixIntervalSec: iv}
+	underest, overest, stale := forecast, forecast, forecast
+	underest.ObsScale = 0.25
+	overest.ObsScale = 4
+	stale.FreezeAfterObs = 50
+	return []struct {
+		name string
+		pol  slurm.PredictPolicy
+	}{
+		{"conservative", slurm.PredictPolicy{}},
+		{"requested-limit", slurm.PredictPolicy{Enabled: true, UseRequestedLimit: true}},
+		{"predicted", forecast},
+		{"predicted-underest", underest},
+		{"predicted-overest", overest},
+		{"predicted-stale", stale},
+	}
+}
+
+// RunPredictSched executes the study. With nil specs the population is
+// synthesized from plan.Gen; passing specs lets callers (cmd/whatif) reuse
+// an already-generated population. The same feasibility-filtered spec set
+// feeds every policy, so the CDFs compare like with like.
+func RunPredictSched(ctx context.Context, plan PredictSchedPlan, specs []workload.JobSpec) (*PredictSchedResult, error) {
+	if specs == nil {
+		gen, err := workload.NewGenerator(plan.Gen)
+		if err != nil {
+			return nil, err
+		}
+		specs = gen.GenerateSpecs()
+	}
+	base := slurm.DefaultConfig()
+	if plan.Nodes > 0 {
+		base.Cluster.Nodes = plan.Nodes
+	}
+	if plan.ReservationAgeSec > 0 {
+		base.Policy.ReservationAgeSec = plan.ReservationAgeSec
+	}
+	base.MonitorSeed = plan.MonitorSeed
+	specs, _ = slurm.Feasible(base, specs)
+
+	res := &PredictSchedResult{Jobs: len(specs)}
+	for _, entry := range predictPolicyLadder(plan) {
+		cfg := base
+		cfg.Policy.Predict = entry.pol
+		run, err := slurm.SimulateSharded(ctx, cfg, specs, plan.Sharding)
+		if err != nil {
+			return nil, fmt.Errorf("predictsched %s: %w", entry.name, err)
+		}
+		res.Policies = append(res.Policies, reducePolicyRun(entry.name, run))
+	}
+	res.Accuracy = prefixAccuracy(specs, plan)
+	return res, nil
+}
+
+// reducePolicyRun folds one policy's sharded run into its outcome: waits are
+// gathered per lifecycle class in shard-index order (submit order within a
+// shard), sorted, and sampled on the quantile grid.
+func reducePolicyRun(name string, run *slurm.ShardedRun) PredictPolicyOutcome {
+	var waits [trace.NumCategories][]float64
+	var agg stats.Agg
+	for i := range run.Specs {
+		for j := range run.Specs[i] {
+			sp := &run.Specs[i][j]
+			r, ok := run.Results[i][sp.ID]
+			if !ok {
+				continue
+			}
+			cat := lifecycle.ClassifyParts(sp.Exit, sp.Interface)
+			waits[cat] = append(waits[cat], r.WaitSec)
+			agg.Add(r.WaitSec)
+		}
+	}
+	out := PredictPolicyOutcome{Name: name, Stats: run.Merged, MeanWaitSec: agg.Mean()}
+	for cat := trace.Category(0); cat < trace.NumCategories; cat++ {
+		w := waits[cat]
+		sort.Float64s(w)
+		qs := make([]float64, len(WaitQuantilePs))
+		for qi, p := range WaitQuantilePs {
+			qs[qi] = stats.QuantileSorted(w, p)
+		}
+		out.ClassWaits = append(out.ClassWaits, ClassWaitCDF{
+			Category:    cat.String(),
+			Jobs:        len(w),
+			QuantileSec: qs,
+		})
+	}
+	return out
+}
+
+// prefixAccuracy replays the population through the online predictors at
+// each prefix length, strictly predict-then-observe in submit order (specs
+// arrive sorted by SubmitSec), so no job's own outcome leaks into its
+// prediction. Each prefix length gets an independent classifier; the runtime
+// forecaster is shared (it never sees prefix telemetry).
+func prefixAccuracy(specs []workload.JobSpec, plan PredictSchedPlan) []PrefixAccuracyPoint {
+	ks := plan.PrefixKs
+	if len(ks) == 0 {
+		ks = []int{0, 1, 3, 5, 10, 30}
+	}
+	iv := plan.PrefixIntervalSec
+	if iv <= 0 {
+		iv = 60
+	}
+	points := make([]PrefixAccuracyPoint, len(ks))
+	for i, k := range ks {
+		points[i].PrefixSamples = k
+	}
+	classifiers := make([]predict.OnlineClassifier, len(ks))
+	fc := predict.NewRuntimeForecaster()
+	absErr := make([]float64, len(ks))
+
+	feats := func(sp *workload.JobSpec, k int) predict.Features {
+		var d monitor.PrefixDigest
+		rng := monitor.PrefixRNG(plan.MonitorSeed, sp.ID)
+		for _, prof := range sp.Profiles {
+			d.Accumulate(prof, k, iv, rng)
+		}
+		return predict.MakeFeatures(d.SMMean(), d.MemMean(), d.MemSizeMean(), d.ActiveFrac(),
+			sp.Interface == trace.Interactive, sp.NumGPUs > 1, sp.LimitSec/3600)
+	}
+
+	for i := range specs {
+		sp := &specs[i]
+		truth := lifecycle.ClassifyParts(sp.Exit, sp.Interface)
+		hasPrefix := sp.IsGPU() && len(sp.Profiles) > 0
+		for ki, k := range ks {
+			pt := &points[ki]
+			// Classify from the first-k samples (k=0: no telemetry, the
+			// classifier never decides and the forecast is submit-time only).
+			est, ok := 0.0, false
+			if k > 0 && hasPrefix {
+				f := feats(sp, k)
+				if cat, decided := classifiers[ki].Classify(f); decided {
+					pt.Decided++
+					if cat == truth {
+						pt.Correct++
+					}
+					est, ok = fc.PredictClass(cat, sp.LimitSec)
+				}
+			}
+			if !ok {
+				est, ok = fc.Predict(sp.User, sp.LimitSec)
+			}
+			if ok {
+				pt.Forecasts++
+				if diff := sp.RunSec - est; diff >= 0 {
+					absErr[ki] += diff
+				} else {
+					absErr[ki] -= diff
+				}
+			}
+		}
+		// Observe only after every prefix length predicted this job.
+		fc.Observe(sp.User, truth, sp.RunSec)
+		if hasPrefix {
+			for ki, k := range ks {
+				if k > 0 {
+					classifiers[ki].Observe(feats(sp, k), truth)
+				}
+			}
+		}
+	}
+	for ki := range points {
+		pt := &points[ki]
+		if pt.Decided > 0 {
+			pt.Accuracy = float64(pt.Correct) / float64(pt.Decided)
+		}
+		if pt.Forecasts > 0 {
+			pt.RuntimeMAESec = absErr[ki] / float64(pt.Forecasts)
+		}
+	}
+	return points
+}

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/slurm"
+)
+
+func predictSchedPlan(shards, workers int) PredictSchedPlan {
+	plan := DefaultPredictSchedPlan(0.02, 11)
+	plan.ReservationAgeSec = 900
+	plan.Sharding = slurm.Sharding{Shards: shards, Workers: workers}
+	return plan
+}
+
+func marshalStudy(t *testing.T, r *PredictSchedResult) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestPredictSchedStudyShape: the ladder runs end to end, the conservative
+// fence records no prediction stats, the forecaster scores completions, and
+// the accuracy curve behaves (no decisions without telemetry, decisions with
+// it, bounded accuracy, runtime forecasts everywhere).
+func TestPredictSchedStudyShape(t *testing.T) {
+	res, err := RunPredictSched(context.Background(), predictSchedPlan(1, 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Policies) != 6 {
+		t.Fatalf("policy ladder has %d entries, want 6", len(res.Policies))
+	}
+	byName := map[string]PredictPolicyOutcome{}
+	for _, p := range res.Policies {
+		byName[p.Name] = p
+		if len(p.ClassWaits) == 0 {
+			t.Fatalf("%s: no class wait CDFs", p.Name)
+		}
+		for _, cw := range p.ClassWaits {
+			if len(cw.QuantileSec) != len(WaitQuantilePs) {
+				t.Fatalf("%s/%s: %d quantiles, want %d", p.Name, cw.Category, len(cw.QuantileSec), len(WaitQuantilePs))
+			}
+			for qi := 1; qi < len(cw.QuantileSec); qi++ {
+				if cw.QuantileSec[qi] < cw.QuantileSec[qi-1] {
+					t.Fatalf("%s/%s: quantiles not monotone: %v", p.Name, cw.Category, cw.QuantileSec)
+				}
+			}
+		}
+	}
+	cons := byName["conservative"]
+	if cons.Stats.PredictHits+cons.Stats.PredictMisses != 0 || cons.Stats.PredictedBackfills != 0 {
+		t.Fatalf("conservative run recorded prediction stats: %+v", cons.Stats)
+	}
+	pred := byName["predicted"]
+	if pred.Stats.PredictHits+pred.Stats.PredictMisses == 0 {
+		t.Fatal("predicted run scored no completions")
+	}
+	if pred.Stats.Completed != cons.Stats.Completed {
+		t.Fatalf("completion count moved across policies: %d vs %d", pred.Stats.Completed, cons.Stats.Completed)
+	}
+
+	for _, pt := range res.Accuracy {
+		if pt.PrefixSamples == 0 && pt.Decided != 0 {
+			t.Fatalf("k=0 decided %d classifications without telemetry", pt.Decided)
+		}
+		if pt.Accuracy < 0 || pt.Accuracy > 1 {
+			t.Fatalf("k=%d accuracy %v out of range", pt.PrefixSamples, pt.Accuracy)
+		}
+		if pt.Forecasts == 0 {
+			t.Fatalf("k=%d produced no runtime forecasts", pt.PrefixSamples)
+		}
+	}
+	last := res.Accuracy[len(res.Accuracy)-1]
+	if last.Decided == 0 {
+		t.Fatalf("k=%d never decided a class; the curve is vacuous", last.PrefixSamples)
+	}
+}
+
+// TestPredictSchedBitIdenticalAcrossWorkers: the full study result — every
+// policy's CDFs and counters, and the accuracy curve — serializes to the
+// same bytes whatever the engine worker count, at a fixed shard count.
+func TestPredictSchedBitIdenticalAcrossWorkers(t *testing.T) {
+	ctx := context.Background()
+	ref, err := RunPredictSched(ctx, predictSchedPlan(2, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON := marshalStudy(t, ref)
+	for _, workers := range []int{2, 4} {
+		got, err := RunPredictSched(ctx, predictSchedPlan(2, workers), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(refJSON, marshalStudy(t, got)) {
+			t.Fatalf("workers=%d study output diverged from workers=1", workers)
+		}
+	}
+}
+
+// TestPredictSchedAcrossShardCounts: the accuracy replay never touches the
+// DES, so it is byte-identical across shard counts; and Shards=1 runs the
+// path that slurm's own tests pin byte-identical to the plain simulator, so
+// repeated Shards=1 runs reproduce the whole study exactly.
+func TestPredictSchedAcrossShardCounts(t *testing.T) {
+	ctx := context.Background()
+	one, err := RunPredictSched(ctx, predictSchedPlan(1, 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := RunPredictSched(ctx, predictSchedPlan(2, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accOne, err := json.Marshal(one.Accuracy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accTwo, err := json.Marshal(two.Accuracy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(accOne, accTwo) {
+		t.Fatal("accuracy curve depends on the shard count")
+	}
+	oneAgain, err := RunPredictSched(ctx, predictSchedPlan(1, 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalStudy(t, one), marshalStudy(t, oneAgain)) {
+		t.Fatal("shards=1 study not reproducible")
+	}
+}

@@ -9,22 +9,60 @@ package lifecycle
 
 import "repro/internal/trace"
 
+// classifyTable is the paper's §VI decision table, spelled out over every
+// (ExitStatus × Interface) pair so the mapping is auditable at a glance and
+// the exhaustiveness test can sweep it cell by cell. Only one cell depends on
+// the interface: a timeout in an interactive session is an IDE job riding its
+// wall-clock limit; every other timeout — and every crash, interactive or not
+// (the paper's development jobs fail under debug regardless of how they were
+// launched) — is Development.
+var classifyTable = [trace.NumExitStatuses][trace.NumInterfaces]trace.Category{
+	trace.ExitSuccess: {
+		trace.MapReduce:   trace.Mature,
+		trace.Batch:       trace.Mature,
+		trace.Interactive: trace.Mature,
+		trace.Other:       trace.Mature,
+	},
+	trace.ExitCancelled: {
+		trace.MapReduce:   trace.Exploratory,
+		trace.Batch:       trace.Exploratory,
+		trace.Interactive: trace.Exploratory,
+		trace.Other:       trace.Exploratory,
+	},
+	trace.ExitTimeout: {
+		trace.MapReduce:   trace.Development,
+		trace.Batch:       trace.Development,
+		trace.Interactive: trace.IDE,
+		trace.Other:       trace.Development,
+	},
+	trace.ExitFailed: {
+		trace.MapReduce:   trace.Development,
+		trace.Batch:       trace.Development,
+		trace.Interactive: trace.Development,
+		trace.Other:       trace.Development,
+	},
+}
+
 // Classify returns the life-cycle category of a job record. The mapping is
 // total: every (exit status, interface) combination has a category.
 func Classify(j *trace.JobRecord) trace.Category {
-	switch j.Exit {
-	case trace.ExitSuccess:
-		return trace.Mature
-	case trace.ExitCancelled:
-		return trace.Exploratory
-	case trace.ExitTimeout:
-		if j.Interface == trace.Interactive {
-			return trace.IDE
-		}
-		return trace.Development
-	default: // ExitFailed and anything unknown: code still under debug
+	return ClassifyParts(j.Exit, j.Interface)
+}
+
+// ClassifyParts classifies from the two observables directly, so callers that
+// have no JobRecord in hand (the scheduler's online prediction layer works
+// from JobSpecs) share the exact decision table. Out-of-range statuses are
+// code in an unknown terminal state — still under debug, so Development; an
+// out-of-range interface is simply not an interactive session, preserving the
+// totality the original switch had.
+func ClassifyParts(exit trace.ExitStatus, iface trace.Interface) trace.Category {
+	if exit < 0 || exit >= trace.NumExitStatuses {
 		return trace.Development
 	}
+	if iface < 0 || iface >= trace.NumInterfaces {
+		iface = trace.Other
+	}
+	return classifyTable[exit][iface]
 }
 
 // Breakdown is the per-category tally of a job population (Fig. 15).

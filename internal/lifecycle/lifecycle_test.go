@@ -34,6 +34,73 @@ func TestClassifyMapping(t *testing.T) {
 	}
 }
 
+// specClassify is a verbatim transcription of the paper's §VI prose mapping
+// (the pre-table switch): mature jobs complete with a zero exit code,
+// exploratory jobs are user-cancelled, IDE jobs are interactive sessions that
+// ride their limit into a timeout, and development jobs crash — interactively
+// or not — or time out non-interactively. The exhaustiveness test checks the
+// decision table against this spec cell by cell.
+func specClassify(exit trace.ExitStatus, iface trace.Interface) trace.Category {
+	switch exit {
+	case trace.ExitSuccess:
+		return trace.Mature
+	case trace.ExitCancelled:
+		return trace.Exploratory
+	case trace.ExitTimeout:
+		if iface == trace.Interactive {
+			return trace.IDE
+		}
+		return trace.Development
+	default: // ExitFailed and anything unknown: code still under debug
+		return trace.Development
+	}
+}
+
+// TestClassifyExhaustive sweeps every in-range (ExitStatus × Interface) pair:
+// the table must agree with the §VI spec everywhere — in particular,
+// interactive ExitFailed stays Development (an interactive session whose code
+// crashed is under debug; only riding the limit into a timeout marks an IDE
+// session), so no golden figure moves. It also probes out-of-range values on
+// both axes, which must behave exactly as the original switch did.
+func TestClassifyExhaustive(t *testing.T) {
+	for exit := trace.ExitStatus(0); exit < trace.NumExitStatuses; exit++ {
+		for iface := trace.Interface(0); iface < trace.NumInterfaces; iface++ {
+			got := ClassifyParts(exit, iface)
+			if want := specClassify(exit, iface); got != want {
+				t.Errorf("ClassifyParts(%v, %v) = %v, want %v (paper §VI)", exit, iface, got, want)
+			}
+			if got < 0 || got >= trace.NumCategories {
+				t.Errorf("ClassifyParts(%v, %v) = %v out of range", exit, iface, got)
+			}
+			if byRec := Classify(rec(exit, iface, 1, 60)); byRec != got {
+				t.Errorf("Classify record path diverges from ClassifyParts at (%v, %v): %v vs %v",
+					exit, iface, byRec, got)
+			}
+		}
+	}
+	// The §VI pin the issue asks about by name.
+	if got := ClassifyParts(trace.ExitFailed, trace.Interactive); got != trace.Development {
+		t.Errorf("interactive ExitFailed = %v, want Development", got)
+	}
+	// Out-of-range probes: unknown exit is Development whatever the
+	// interface; unknown interface only matters for the timeout row.
+	for _, iface := range []trace.Interface{-1, trace.NumInterfaces, 99} {
+		if got := ClassifyParts(trace.ExitSuccess, iface); got != trace.Mature {
+			t.Errorf("success with out-of-range interface %d = %v, want Mature", iface, got)
+		}
+		if got := ClassifyParts(trace.ExitTimeout, iface); got != trace.Development {
+			t.Errorf("timeout with out-of-range interface %d = %v, want Development", iface, got)
+		}
+	}
+	for _, exit := range []trace.ExitStatus{-1, trace.NumExitStatuses, 99} {
+		for iface := trace.Interface(0); iface < trace.NumInterfaces; iface++ {
+			if got := ClassifyParts(exit, iface); got != trace.Development {
+				t.Errorf("out-of-range exit %d with %v = %v, want Development", exit, iface, got)
+			}
+		}
+	}
+}
+
 // Property: the classifier is total — any combination yields a valid
 // category.
 func TestClassifyTotalProperty(t *testing.T) {

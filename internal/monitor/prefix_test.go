@@ -1,0 +1,112 @@
+package monitor
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/workload"
+)
+
+// TestPrefixDigestGridMatchesMonitor pins the prefix digest to the
+// JobMonitor sampling grid: digesting k samples of a noise-free profile at
+// the monitor cadence must reproduce the exact means of the first k grid
+// samples — t = (i+0.5)·interval — no off-by-one, no endpoint sample.
+func TestPrefixDigestGridMatchesMonitor(t *testing.T) {
+	// 600 s profile, first 300 s idle then 50% SM: at a 60 s cadence the
+	// first 5 samples (t=30..270) are idle, the next 5 active.
+	prof := testProfile(t, 600, 0.5, 50)
+	rng := PrefixRNG(7, 11)
+	var d PrefixDigest
+	d.Accumulate(prof, 5, 60, rng)
+	if d.Samples != 5 {
+		t.Fatalf("samples = %d, want 5", d.Samples)
+	}
+	if d.SMMean() != 0 || d.ActiveFrac() != 0 {
+		t.Fatalf("idle prefix reports SM %v active %v", d.SMMean(), d.ActiveFrac())
+	}
+	var full PrefixDigest
+	full.Accumulate(prof, 10, 60, PrefixRNG(7, 11))
+	if full.Samples != 10 {
+		t.Fatalf("samples = %d, want 10", full.Samples)
+	}
+	if full.SMMean() != 25 { // 5 idle + 5 at 50%
+		t.Fatalf("full-prefix SM mean = %v, want 25", full.SMMean())
+	}
+	if full.ActiveFrac() != 0.5 {
+		t.Fatalf("active frac = %v, want 0.5", full.ActiveFrac())
+	}
+}
+
+// TestPrefixDigestBounds: k caps the sample count, a short profile yields
+// its monitor floor of one sample, and degenerate arguments are no-ops.
+func TestPrefixDigestBounds(t *testing.T) {
+	prof := testProfile(t, 100, 1, 80)
+	var d PrefixDigest
+	d.Accumulate(prof, 1000, 30, PrefixRNG(1, 1))
+	if d.Samples != 3 { // 100/30 = 3 grid samples
+		t.Fatalf("samples = %d, want 3", d.Samples)
+	}
+	short := testProfile(t, 10, 1, 80)
+	var d2 PrefixDigest
+	d2.Accumulate(short, 4, 30, PrefixRNG(1, 2))
+	if d2.Samples != 1 {
+		t.Fatalf("sub-interval job samples = %d, want the floor of 1", d2.Samples)
+	}
+	var d3 PrefixDigest
+	d3.Accumulate(prof, 0, 30, PrefixRNG(1, 3))
+	d3.Accumulate(prof, 3, 0, PrefixRNG(1, 3))
+	if d3.Samples != 0 {
+		t.Fatalf("degenerate accumulate sampled %d", d3.Samples)
+	}
+	if d3.SMMean() != 0 || d3.MemMean() != 0 || d3.MemSizeMean() != 0 || d3.ActiveFrac() != 0 {
+		t.Fatal("empty digest means not zero")
+	}
+}
+
+// TestPrefixStreamIndependence: the prefix stream is salted differently from
+// the pipeline's prolog stream, and digesting a prefix leaves a concurrent
+// monitoring run byte-identical — the read-only contract.
+func TestPrefixStreamIndependence(t *testing.T) {
+	const seed, jobID = 42, 5
+	prof := testProfile(t, 1000, 0.6, 50)
+
+	run := func(alsoDigest bool) []float64 {
+		p := newTestPipeline(t, DefaultConfig())
+		m := p.Prolog(jobID, 0, gpu.V100(), gpu.DefaultPowerModel(), []Source{prof}, false)
+		if alsoDigest {
+			var d PrefixDigest
+			d.Accumulate(prof, 8, 1, PrefixRNG(seed, jobID))
+		}
+		if err := p.Epilog(m); err != nil {
+			t.Fatal(err)
+		}
+		sums := p.Summaries(jobID)
+		var out []float64
+		for _, s := range sums {
+			for _, v := range s {
+				out = append(out, v.Min, v.Mean, v.Max)
+			}
+		}
+		return out
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) {
+		t.Fatalf("summary lengths diverge: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pipeline output perturbed by prefix digest at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Distinct jobs draw distinct prefix streams under the same seed.
+	if PrefixRNG(seed, 1).Float64() == PrefixRNG(seed, 2).Float64() {
+		t.Fatal("prefix streams for different jobs coincide")
+	}
+	// Same job, same seed: deterministic.
+	if PrefixRNG(seed, 1).Float64() != PrefixRNG(seed, 1).Float64() {
+		t.Fatal("prefix stream not deterministic")
+	}
+}
+
+// The digest accepts any Source; workload.Profile is the production one.
+var _ Source = (*workload.Profile)(nil)

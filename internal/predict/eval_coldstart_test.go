@@ -1,0 +1,176 @@
+package predict
+
+// Evaluation-harness audit (ISSUE 7): a predictor that declines a cold-start
+// prediction — Predict returning (0, false) — must be excluded from the error
+// scores, not charged for a zero guess; and the online replay must be a
+// deterministic predict→observe→update sequence over the canonical
+// (SubmitSec, JobID) order, whatever order the dataset was assembled in.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/trace"
+)
+
+// coldStartTrace is a cold-start-heavy population: nUsers users submitting
+// two jobs each, where user u always runs base+u minutes. A per-user
+// predictor is cold on every first job and exact on every second; a global
+// predictor is warm almost immediately but never exact.
+func coldStartTrace(nUsers int, baseMinutes float64) *trace.Dataset {
+	ds := trace.NewDataset(1)
+	id := int64(1)
+	for round := 0; round < 2; round++ {
+		for u := 0; u < nUsers; u++ {
+			ds.Add(trace.JobRecord{
+				JobID:     id,
+				User:      u,
+				SubmitSec: float64(round*nUsers+u) * 50,
+				RunSec:    (baseMinutes + float64(u)) * 60,
+				NumGPUs:   1,
+				Exit:      trace.ExitSuccess,
+			})
+			id++
+		}
+	}
+	return ds
+}
+
+// TestColdStartExclusionPreservesLeaderboard is the regression pin: on the
+// cold-start-heavy trace, per-user-last is exact on every prediction it
+// actually makes (MAE 0) and declines the rest. Scoring its 50% cold starts
+// as zero guesses — the audited failure mode — would have charged it ~1000
+// minutes of error per declined job and flipped the leaderboard under the
+// global baseline.
+func TestColdStartExclusionPreservesLeaderboard(t *testing.T) {
+	const nUsers = 20
+	ds := coldStartTrace(nUsers, 1000)
+	scores, err := Evaluate(ds, TargetRunMinutes, []Predictor{&GlobalMean{}, NewLastValue()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Score{}
+	for _, s := range scores {
+		byName[s.Predictor] = s
+	}
+	lv, gm := byName["per-user-last"], byName["global-mean"]
+	if lv.ColdStarts != nUsers {
+		t.Fatalf("per-user-last cold starts = %d, want %d (one per user)", lv.ColdStarts, nUsers)
+	}
+	if lv.N != nUsers {
+		t.Fatalf("per-user-last scored %d predictions, want %d", lv.N, nUsers)
+	}
+	if lv.MAE != 0 {
+		t.Fatalf("per-user-last MAE = %v; cold starts leaked into the score", lv.MAE)
+	}
+	if gm.MAE <= 0 {
+		t.Fatalf("global-mean MAE = %v, want > 0 (user spread)", gm.MAE)
+	}
+	// The leaderboard: the exact-when-warm model must rank ahead of the
+	// global baseline. Under zero-scored cold starts its MAE would have been
+	// ~500 minutes and this ordering would invert.
+	if lv.MAE >= gm.MAE {
+		t.Fatalf("leaderboard flipped: per-user-last MAE %v >= global-mean %v", lv.MAE, gm.MAE)
+	}
+	if gm.ColdStarts != 1 {
+		t.Fatalf("global-mean cold starts = %d, want 1 (first job only)", gm.ColdStarts)
+	}
+}
+
+// replaySpy records the harness's call sequence: how many observations had
+// been fed back at the moment of each Predict call.
+type replaySpy struct {
+	observed      int
+	seenAtPredict []int
+	users         []int
+}
+
+func (s *replaySpy) Name() string { return "replay-spy" }
+
+func (s *replaySpy) Predict(user int) (float64, bool) {
+	s.seenAtPredict = append(s.seenAtPredict, s.observed)
+	s.users = append(s.users, user)
+	return 0, false
+}
+
+func (s *replaySpy) Observe(int, float64) { s.observed++ }
+
+// TestReplayNoLeakageProperty is the property test: for any insertion order
+// of the records — including ties in SubmitSec, where the old unstable sort
+// made the replay order run-dependent — Evaluate visits jobs in the
+// canonical (SubmitSec, JobID) order and calls Predict for job k with
+// exactly k prior observations (predict strictly before observe, no
+// leakage), and every real predictor's scores are identical to the
+// canonical-order run.
+func TestReplayNoLeakageProperty(t *testing.T) {
+	mkRecords := func() []trace.JobRecord {
+		var recs []trace.JobRecord
+		id := int64(1)
+		for i := 0; i < 30; i++ {
+			recs = append(recs, trace.JobRecord{
+				JobID:     id,
+				User:      i % 4,
+				SubmitSec: float64((i / 3) * 100), // triples of tied submit times
+				RunSec:    float64(60 * (1 + i%7)),
+				NumGPUs:   1,
+				Exit:      trace.ExitSuccess,
+			})
+			id++
+		}
+		return recs
+	}
+	canonical := mkRecords()
+	evalWithOrder := func(order []int) ([]Score, *replaySpy, error) {
+		ds := trace.NewDataset(1)
+		for _, i := range order {
+			ds.Add(canonical[i])
+		}
+		spy := &replaySpy{}
+		scores, err := Evaluate(ds, TargetRunMinutes, []Predictor{
+			spy, &GlobalMean{}, NewGlobalMedian(), NewLastValue(), NewUserEWMA(0.3),
+		})
+		return scores, spy, err
+	}
+
+	identity := make([]int, len(canonical))
+	for i := range identity {
+		identity[i] = i
+	}
+	baseScores, baseSpy, err := evalWithOrder(identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, seen := range baseSpy.seenAtPredict {
+		if seen != k {
+			t.Fatalf("job %d predicted with %d prior observations; leakage or reordering", k, seen)
+		}
+	}
+
+	f := func(permSeed uint64) bool {
+		rng := dist.New(permSeed)
+		order := append([]int(nil), identity...)
+		for i := len(order) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		scores, spy, err := evalWithOrder(order)
+		if err != nil {
+			return false
+		}
+		for k, seen := range spy.seenAtPredict {
+			if seen != k || spy.users[k] != baseSpy.users[k] {
+				return false
+			}
+		}
+		for i := range scores {
+			if scores[i] != baseScores[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

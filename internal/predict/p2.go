@@ -1,14 +1,22 @@
 package predict
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // P2Quantile is the Jain–Chlamtac P² streaming quantile estimator: it tracks
 // an arbitrary quantile in O(1) memory using five markers, accurate to a few
 // percent on smooth distributions — the right tool for a scheduler-side
 // predictor that cannot buffer histories.
+//
+// Two classic hazards are handled explicitly. Before five observations the
+// marker invariants do not exist yet, so the first observations are kept
+// sorted in the heights array itself and Value returns the exact
+// linearly-interpolated sample quantile (the same convention as
+// stats.QuantileSorted — the fuzz harness cross-checks them). And on heavily
+// tied data the parabolic marker move can land on or beyond a neighboring
+// marker (zero-width cells make the formula degenerate, up to NaN/Inf);
+// every move is therefore clamped into the closed neighbor interval and
+// non-finite moves are discarded, so the marker monotonicity invariant holds
+// for every input stream.
 type P2Quantile struct {
 	p       float64
 	n       int
@@ -16,7 +24,6 @@ type P2Quantile struct {
 	pos     [5]float64
 	want    [5]float64
 	inc     [5]float64
-	init    []float64
 }
 
 // NewP2Quantile tracks the p-quantile (p in (0,1)).
@@ -36,13 +43,19 @@ func NewP2Quantile(p float64) P2Quantile {
 // Add folds one observation into the estimator.
 func (q *P2Quantile) Add(x float64) {
 	if q.n < 5 {
-		q.init = append(q.init, x)
+		// Insertion-sort the bootstrap sample into the heights array: once
+		// the fifth observation lands, the array already is the sorted
+		// marker initialization the algorithm requires, and until then
+		// Value can read an exact small-sample quantile from it.
+		i := q.n
+		for i > 0 && q.heights[i-1] > x {
+			q.heights[i] = q.heights[i-1]
+			i--
+		}
+		q.heights[i] = x
 		q.n++
 		if q.n == 5 {
-			sort.Float64s(q.init)
-			copy(q.heights[:], q.init)
 			q.pos = [5]float64{1, 2, 3, 4, 5}
-			q.init = nil
 		}
 		return
 	}
@@ -78,10 +91,21 @@ func (q *P2Quantile) Add(x float64) {
 				sign = -1
 			}
 			h := q.parabolic(i, sign)
-			if !(q.heights[i-1] < h && h < q.heights[i+1]) || math.IsNaN(h) || math.IsInf(h, 0) {
+			if !(q.heights[i-1] < h && h < q.heights[i+1]) {
 				h = q.linear(i, sign)
 			}
+			// Tied-value guard: with duplicated observations both moves can
+			// still produce a height outside the neighbor interval (or a
+			// NaN/Inf from a zero-width cell). Clamping into the closed
+			// interval keeps the markers monotone; a non-finite move carries
+			// no information and is dropped entirely.
 			if !math.IsNaN(h) && !math.IsInf(h, 0) {
+				if h < q.heights[i-1] {
+					h = q.heights[i-1]
+				}
+				if h > q.heights[i+1] {
+					h = q.heights[i+1]
+				}
 				q.heights[i] = h
 			}
 			q.pos[i] += sign
@@ -102,17 +126,29 @@ func (q *P2Quantile) linear(i int, d float64) float64 {
 	return q.heights[i] + d*(q.heights[j]-q.heights[i])/(q.pos[j]-q.pos[i])
 }
 
-// Value returns the current estimate and whether enough data has arrived.
+// Value returns the current estimate and whether any data has arrived. With
+// fewer than five observations it is the exact sample quantile under linear
+// interpolation (NumPy's default, matching stats.QuantileSorted), computed
+// allocation-free from the sorted bootstrap prefix.
 func (q *P2Quantile) Value() (float64, bool) {
 	switch {
 	case q.n == 0:
 		return 0, false
 	case q.n < 5:
-		// Exact small-sample quantile.
-		s := append([]float64(nil), q.init...)
-		sort.Float64s(s)
-		idx := int(q.p * float64(len(s)-1))
-		return s[idx], true
+		pos := q.p * float64(q.n-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= q.n {
+			hi = q.n - 1
+		}
+		if lo == hi {
+			return q.heights[lo], true
+		}
+		frac := pos - float64(lo)
+		return q.heights[lo]*(1-frac) + q.heights[hi]*frac, true
 	default:
 		return q.heights[2], true
 	}
@@ -121,16 +157,18 @@ func (q *P2Quantile) Value() (float64, bool) {
 // N returns the number of observations.
 func (q *P2Quantile) N() int { return q.n }
 
-// validate is used by tests: markers must stay ordered.
+// validate is used by tests: markers must stay ordered and finite (for n<5,
+// the sorted bootstrap prefix must be ordered).
 func (q *P2Quantile) validate() bool {
+	limit := 5
 	if q.n < 5 {
-		return true
+		limit = q.n
 	}
-	for i := 1; i < 5; i++ {
-		if q.heights[i] < q.heights[i-1] {
+	for i := 0; i < limit; i++ {
+		if math.IsNaN(q.heights[i]) {
 			return false
 		}
-		if math.IsNaN(q.heights[i]) {
+		if i > 0 && q.heights[i] < q.heights[i-1] {
 			return false
 		}
 	}

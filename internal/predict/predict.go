@@ -204,27 +204,44 @@ func (t Target) value(j *trace.JobRecord) float64 {
 
 // Score is one predictor's online evaluation.
 type Score struct {
-	Predictor string
-	Target    string
-	N         int     // scored predictions (cold starts excluded)
-	MAE       float64 // mean absolute error
-	MedAPE    float64 // median absolute percentage error (robust to tails)
-	RMSLE     float64 // root mean squared log error (scale-free)
+	Predictor  string
+	Target     string
+	N          int     // scored predictions (cold starts excluded)
+	ColdStarts int     // predictions declined for lack of basis — never scored
+	MAE        float64 // mean absolute error
+	MedAPE     float64 // median absolute percentage error (robust to tails)
+	RMSLE      float64 // root mean squared log error (scale-free)
 }
 
 // Evaluate replays the dataset's GPU jobs in submission order through each
-// predictor, scoring strictly online. Targets with non-positive values skip
-// the log-based metrics.
+// predictor, scoring strictly online: for each job every predictor first
+// predicts, then observes — never the reverse — so no predictor ever sees a
+// job before guessing it. A cold start (Predict returning ok=false) is a
+// declined prediction, not a zero guess: it is counted in ColdStarts and
+// excluded from every error metric, so predictors that warm up slowly are
+// scored only on the predictions they actually made. Targets with
+// non-positive values skip the log-based metrics.
 func Evaluate(ds *trace.Dataset, target Target, preds []Predictor) ([]Score, error) {
 	jobs := ds.Columns().GPU
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("predict: no GPU jobs to evaluate")
 	}
 	ordered := append([]*trace.JobRecord(nil), jobs...)
-	sort.Slice(ordered, func(a, b int) bool { return ordered[a].SubmitSec < ordered[b].SubmitSec })
+	// Tied submit times are real (batch submissions land on the same second),
+	// and sort.Slice is not stable — keying on SubmitSec alone made the
+	// replay order, and with it every online score, depend on the sorter's
+	// internal permutation. The job ID tie-break makes the order total and
+	// the evaluation reproducible.
+	sort.Slice(ordered, func(a, b int) bool {
+		if ordered[a].SubmitSec != ordered[b].SubmitSec {
+			return ordered[a].SubmitSec < ordered[b].SubmitSec
+		}
+		return ordered[a].JobID < ordered[b].JobID
+	})
 
 	type acc struct {
 		n        int
+		cold     int
 		absSum   float64
 		apes     []float64
 		sqLogSum float64
@@ -247,6 +264,8 @@ func Evaluate(ds *trace.Dataset, target Target, preds []Predictor) ([]Score, err
 					a.sqLogSum += d * d
 					a.logN++
 				}
+			} else {
+				accs[pi].cold++
 			}
 		}
 		for _, p := range preds {
@@ -256,7 +275,7 @@ func Evaluate(ds *trace.Dataset, target Target, preds []Predictor) ([]Score, err
 	out := make([]Score, len(preds))
 	for pi, p := range preds {
 		a := &accs[pi]
-		s := Score{Predictor: p.Name(), Target: target.String(), N: a.n}
+		s := Score{Predictor: p.Name(), Target: target.String(), N: a.n, ColdStarts: a.cold}
 		if a.n > 0 {
 			s.MAE = a.absSum / float64(a.n)
 		}

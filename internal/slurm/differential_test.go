@@ -27,6 +27,12 @@ type diffCase struct {
 	scale float64
 	nodes int
 	plan  faults.Plan
+	// predict, when enabled, runs the cell under prediction-aware backfill;
+	// ageSec then overrides ReservationAgeSec so reservations actually arm
+	// inside the short synthetic horizon. Zero values keep legacy cells
+	// byte-identical.
+	predict PredictPolicy
+	ageSec  float64
 }
 
 func diffMatrix() []diffCase {
@@ -48,11 +54,29 @@ func diffMatrix() []diffCase {
 		} {
 			base := fmt.Sprintf("seed%d/%s", seed, sc.name)
 			cases = append(cases,
-				diffCase{base + "/fault-free", seed, sc.scale, sc.nodes, faults.Plan{}},
-				diffCase{base + "/faults", seed, sc.scale, sc.nodes, crashPlan},
+				diffCase{name: base + "/fault-free", seed: seed, scale: sc.scale, nodes: sc.nodes},
+				diffCase{name: base + "/faults", seed: seed, scale: sc.scale, nodes: sc.nodes, plan: crashPlan},
 			)
 		}
 	}
+	// Prediction-aware cells: the predictor's estimate/shadow/refinement
+	// state must be a pure function of the event order on BOTH queue
+	// implementations. One cell per policy mode — forecasts with prefix
+	// refinement, the requested-limit baseline, an adversarial
+	// under-estimator with stale priors (the mispredict-fallback path), and
+	// forecasts under a fault plan (the kill/requeue bookkeeping).
+	refine := PredictPolicy{Enabled: true, PrefixSamples: 8, PrefixIntervalSec: 60}
+	cases = append(cases,
+		diffCase{name: "seed7/small/predict", seed: 7, scale: 0.02, nodes: 8,
+			predict: refine, ageSec: 1800},
+		diffCase{name: "seed7/small/predict-limit", seed: 7, scale: 0.02, nodes: 8,
+			predict: PredictPolicy{Enabled: true, UseRequestedLimit: true}, ageSec: 1800},
+		diffCase{name: "seed42/small/predict-mispredict", seed: 42, scale: 0.02, nodes: 8,
+			predict: PredictPolicy{Enabled: true, PrefixSamples: 8, PrefixIntervalSec: 60,
+				ObsScale: 0.25, FreezeAfterObs: 100}, ageSec: 900},
+		diffCase{name: "seed1/tiny/predict-faults", seed: 1, scale: 0.005, nodes: 4,
+			plan: crashPlan, predict: refine, ageSec: 900},
+	)
 	return cases
 }
 
@@ -144,6 +168,10 @@ func TestDifferentialHeapVsCalendar(t *testing.T) {
 			cfg.Cluster.Nodes = c.nodes
 			cfg.Faults = c.plan
 			cfg.FaultSeed = c.seed
+			cfg.Policy.Predict = c.predict
+			if c.ageSec > 0 {
+				cfg.Policy.ReservationAgeSec = c.ageSec
+			}
 			specs := diffPopulation(t, c)
 			specs, _ = Feasible(cfg, specs)
 

@@ -212,6 +212,11 @@ func (s *Simulator) kill(idx int) error {
 	s.stats.RecoveredGPUHours += float64(len(res.GPUs)) * credit / 3600
 	rs.running = false
 	rs.attempt++
+	if s.pred != nil {
+		// The killed attempt never completes: drop it from the running set
+		// unscored; the next attempt re-registers with a fresh estimate.
+		s.pred.onKill(idx)
+	}
 	if rs.requeues >= s.cfg.Requeue.MaxRetries {
 		s.stats.JobsAbandoned++
 		delete(s.results, sp.ID)

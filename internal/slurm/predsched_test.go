@@ -1,0 +1,308 @@
+package slurm
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/gpu"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// predTestCluster is a single 4-GPU node: small enough that every admission
+// decision in the scenarios below can be traced by hand.
+func predTestCluster() cluster.Config {
+	return cluster.Config{
+		Nodes:        1,
+		CoresPerNode: 40,
+		MemGBPerNode: 384,
+		GPUsPerNode:  4,
+		GPUSpec:      gpu.V100(),
+		NodesPerRack: 1,
+	}
+}
+
+func predGPUSpec(id int64, user int, submit, run, limit float64, gpus int) workload.JobSpec {
+	return workload.JobSpec{
+		ID:          id,
+		User:        user,
+		Interface:   trace.Batch,
+		Exit:        trace.ExitSuccess,
+		SubmitSec:   submit,
+		RunSec:      run,
+		LimitSec:    limit,
+		NumGPUs:     gpus,
+		CoresPerGPU: 2,
+		MemGBPerGPU: 16,
+	}
+}
+
+// predScenario is the hand-traceable reservation scenario shared by the
+// prediction tests:
+//
+//	A        2 GPUs, runs 0→20000 (its limit), pinning half the node.
+//	w1..w5   user 1 warm-up jobs: 1 GPU, 50 s each, long 24 h limits — they
+//	         complete early and give the forecaster user 1's runtime prior.
+//	R        4-GPU job submitted at t=100: blocked behind A, its reservation
+//	         arms at t=1100 (age 1000) and the brake lands at t=2100.
+//	b1, b2   user 1 short jobs inside the armed window (t=1200, 1300).
+//	late     user 1 short job after the brake (t=3300).
+//
+// Under the conservative fence b1/b2/late all wait ~19000 s for R to clear;
+// under prediction b1/b2 backfill immediately (predicted 50 s ≪ the t=20000
+// shadow) while `late` still waits — and R starts at t=20000 in every
+// policy, which is the no-starvation pin.
+func predScenario() []workload.JobSpec {
+	return []workload.JobSpec{
+		predGPUSpec(1, 2, 0, 20000, 20000, 2),  // A
+		predGPUSpec(2, 1, 0, 50, 86400, 1),     // w1
+		predGPUSpec(3, 1, 1, 50, 86400, 1),     // w2
+		predGPUSpec(4, 1, 2, 50, 86400, 1),     // w3
+		predGPUSpec(5, 1, 3, 50, 86400, 1),     // w4
+		predGPUSpec(6, 1, 4, 50, 86400, 1),     // w5
+		predGPUSpec(7, 3, 100, 1000, 2000, 4),  // R (reserved)
+		predGPUSpec(8, 1, 1200, 50, 86400, 1),  // b1
+		predGPUSpec(9, 1, 1300, 50, 86400, 1),  // b2
+		predGPUSpec(10, 1, 3300, 50, 86400, 1), // late (after the brake)
+	}
+}
+
+func predScenarioConfig(p PredictPolicy) Config {
+	cfg := DefaultConfig()
+	cfg.Cluster = predTestCluster()
+	cfg.Policy.ReservationAgeSec = 1000
+	cfg.Policy.Predict = p
+	return cfg
+}
+
+func runPredScenario(t *testing.T, p PredictPolicy, specs []workload.JobSpec) (map[int64]*Result, Stats) {
+	t.Helper()
+	res, st, err := Simulate(predScenarioConfig(p), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, st
+}
+
+// TestPredictBackfillAdmitsShortJobs: with accurate user priors, short jobs
+// backfill through an armed reservation that would otherwise hold them for
+// hours, the reserved job starts at exactly the same instant as under the
+// conservative fence, and the brake still fences jobs arriving after
+// 2×ReservationAgeSec.
+func TestPredictBackfillAdmitsShortJobs(t *testing.T) {
+	specs := predScenario()
+	consRes, consSt := runPredScenario(t, PredictPolicy{}, specs)
+	predRes, predSt := runPredScenario(t, PredictPolicy{Enabled: true}, specs)
+
+	if consSt.PredictedBackfills != 0 || consSt.PredictHits+consSt.PredictMisses != 0 {
+		t.Fatalf("conservative run recorded prediction stats: %+v", consSt)
+	}
+	// The reservation holds b1/b2 under the conservative fence until R clears.
+	if consRes[8].StartSec < 20000 || consRes[9].StartSec < 20000 {
+		t.Fatalf("conservative fence leaked backfill: b1 %v b2 %v",
+			consRes[8].StartSec, consRes[9].StartSec)
+	}
+	// Prediction admits them at submit: user 1's median is 50 s, far inside
+	// the t=20000 shadow.
+	if predRes[8].StartSec != 1200 || predRes[9].StartSec != 1300 {
+		t.Fatalf("predicted backfill: b1 started %v (want 1200), b2 %v (want 1300)",
+			predRes[8].StartSec, predRes[9].StartSec)
+	}
+	if predSt.PredictedBackfills != 2 {
+		t.Fatalf("PredictedBackfills = %d, want 2", predSt.PredictedBackfills)
+	}
+	if predSt.PredictedBackfillWaitSec != 0 {
+		t.Fatalf("backfilled jobs waited %v s, want 0", predSt.PredictedBackfillWaitSec)
+	}
+	// The no-starvation pin: the reserved job starts at the same instant.
+	if predRes[7].StartSec != consRes[7].StartSec {
+		t.Fatalf("reserved start moved: predict %v, conservative %v",
+			predRes[7].StartSec, consRes[7].StartSec)
+	}
+	// The brake: a candidate arriving past 2×age waits exactly as the
+	// conservative fence would make it.
+	if predRes[10].StartSec != consRes[10].StartSec {
+		t.Fatalf("post-brake job moved: predict %v, conservative %v",
+			predRes[10].StartSec, consRes[10].StartSec)
+	}
+	if predSt.PredictHits == 0 || predSt.PredictMisses == 0 {
+		// Warm-ups and backfills hit their 50 s estimates; R (forecast from
+		// the short-job global median) overruns — both counters must move.
+		t.Fatalf("hit/miss accounting: %d hits, %d misses", predSt.PredictHits, predSt.PredictMisses)
+	}
+}
+
+// TestPredictRequestedLimitBaselineRefuses: the §IV baseline — estimates are
+// the requested wall-clock limits — admits nothing here (24 h limits cannot
+// fit before the t=20000 shadow), reproducing the paper's point that
+// requested limits are too uninformative to drive backfill.
+func TestPredictRequestedLimitBaselineRefuses(t *testing.T) {
+	specs := predScenario()
+	res, st := runPredScenario(t, PredictPolicy{Enabled: true, UseRequestedLimit: true}, specs)
+	if st.PredictedBackfills != 0 {
+		t.Fatalf("requested-limit baseline admitted %d backfills", st.PredictedBackfills)
+	}
+	if res[8].StartSec < 20000 || res[9].StartSec < 20000 {
+		t.Fatalf("baseline leaked backfill: b1 %v b2 %v", res[8].StartSec, res[9].StartSec)
+	}
+	if res[7].StartSec != 20000 {
+		t.Fatalf("reserved start = %v, want 20000", res[7].StartSec)
+	}
+}
+
+// TestPredictMispredictFallback: a job that overruns its estimate 160× is
+// re-projected at its requested limit, the scheduler keeps admitting
+// correct candidates against the honest shadow, the overrun is scored as a
+// miss — and the reserved job still starts at the conservative instant.
+func TestPredictMispredictFallback(t *testing.T) {
+	specs := predScenario()
+	// X: user 1 history says 50 s, but it actually runs 8000 s (limit 9000).
+	// Submitted at t=1150 inside the armed window, it is admitted on its
+	// (wrong) 50 s estimate and then overruns.
+	x := predGPUSpec(11, 1, 1150, 8000, 9000, 1)
+	withX := make([]workload.JobSpec, 0, len(specs)+1)
+	for _, sp := range specs {
+		if sp.SubmitSec > x.SubmitSec && len(withX) > 0 && withX[len(withX)-1].SubmitSec <= x.SubmitSec {
+			withX = append(withX, x)
+		}
+		withX = append(withX, sp)
+	}
+
+	consRes, _ := runPredScenario(t, PredictPolicy{}, withX)
+	predRes, predSt := runPredScenario(t, PredictPolicy{Enabled: true}, withX)
+
+	// X was admitted predictively and overran: at least one miss.
+	if predRes[11].StartSec != 1150 {
+		t.Fatalf("mispredicted job started %v, want 1150", predRes[11].StartSec)
+	}
+	if predSt.PredictMisses == 0 {
+		t.Fatal("overrunning job not scored as a miss")
+	}
+	// After X overruns (from t=1200 on), the shadow re-projects it at its
+	// limit; b1/b2 still fit before t=20000 and are still admitted.
+	if predRes[8].StartSec != 1200 || predRes[9].StartSec != 1300 {
+		t.Fatalf("post-overrun admissions: b1 %v (want 1200), b2 %v (want 1300)",
+			predRes[8].StartSec, predRes[9].StartSec)
+	}
+	// No starvation regression even under the mispredict.
+	if predRes[7].StartSec != consRes[7].StartSec {
+		t.Fatalf("reserved start moved under mispredict: predict %v, conservative %v",
+			predRes[7].StartSec, consRes[7].StartSec)
+	}
+}
+
+// TestPredictNoStarvationOnGeneratedWorkload is the acceptance regression on
+// a synthesized population: under an adversarially under-estimating
+// forecaster (ObsScale=0.25) with stale priors (frozen after 50
+// observations), the worst multi-GPU wait must stay within the brake bound
+// of the requested-limit policy's worst wait — the prediction layer may
+// reorder backfill, but the brake caps how long any reserved job can be
+// held beyond the conservative fence.
+func TestPredictNoStarvationOnGeneratedWorkload(t *testing.T) {
+	gcfg := workload.ScaledConfig(0.02)
+	gcfg.Seed = 9
+	gen, err := workload.NewGenerator(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := gen.GenerateSpecs()
+
+	const age = 1800.0
+	run := func(p PredictPolicy) (map[int64]*Result, Stats) {
+		cfg := DefaultConfig()
+		cfg.Cluster.Nodes = 8
+		cfg.Policy.ReservationAgeSec = age
+		cfg.Policy.Predict = p
+		ok, _ := Feasible(cfg, specs)
+		res, st, err := Simulate(cfg, ok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, st
+	}
+
+	maxMultiWait := func(res map[int64]*Result) float64 {
+		worst := 0.0
+		for i := range specs {
+			if specs[i].NumGPUs <= 1 {
+				continue
+			}
+			if r, ok := res[specs[i].ID]; ok && r.WaitSec > worst {
+				worst = r.WaitSec
+			}
+		}
+		return worst
+	}
+
+	baseRes, _ := run(PredictPolicy{Enabled: true, UseRequestedLimit: true})
+	advRes, advSt := run(PredictPolicy{
+		Enabled:           true,
+		PrefixSamples:     8,
+		PrefixIntervalSec: 60,
+		ObsScale:          0.25,
+		FreezeAfterObs:    50,
+	})
+	if advSt.PredictHits+advSt.PredictMisses == 0 {
+		t.Fatal("adversarial run scored nothing; scenario is vacuous")
+	}
+	base, adv := maxMultiWait(baseRes), maxMultiWait(advRes)
+	if adv > base+2*age {
+		t.Fatalf("adversarial prediction starved a reserved job: worst multi-GPU wait %v s vs baseline %v s (+ brake bound %v)",
+			adv, base, 2*age)
+	}
+}
+
+// TestPredictShardedDeterminism: a prediction-aware sharded run is
+// bit-identical across worker counts, Shards=1 matches the unsharded run
+// byte for byte, and the shard merge folds the prediction counters.
+func TestPredictShardedDeterminism(t *testing.T) {
+	gcfg := workload.ScaledConfig(0.02)
+	gcfg.Seed = 5
+	gen, err := workload.NewGenerator(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Cluster.Nodes = 8
+	cfg.Policy.ReservationAgeSec = 900
+	cfg.Policy.Predict = PredictPolicy{Enabled: true, PrefixSamples: 8, PrefixIntervalSec: 60}
+	specs, _ := Feasible(cfg, gen.GenerateSpecs())
+
+	ctx := context.Background()
+	ref, err := SimulateSharded(ctx, cfg, specs, Sharding{Shards: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Merged.PredictHits+ref.Merged.PredictMisses == 0 {
+		t.Fatal("sharded predict run scored nothing")
+	}
+	for _, workers := range []int{2, 4} {
+		got, err := SimulateSharded(ctx, cfg, specs, Sharding{Shards: 2, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Merged != ref.Merged {
+			t.Fatalf("workers=%d merged stats diverged:\n ref %+v\n got %+v", workers, ref.Merged, got.Merged)
+		}
+		ra, ga := ref.WaitAgg(), got.WaitAgg()
+		if ra.N() != ga.N() || ra.Mean() != ga.Mean() || ra.StdDev() != ga.StdDev() ||
+			ra.Min() != ga.Min() || ra.Max() != ga.Max() {
+			t.Fatalf("workers=%d wait aggregate diverged", workers)
+		}
+	}
+
+	// Shards=1 is byte-identical to the plain simulator.
+	one, err := SimulateSharded(ctx, cfg, specs, Sharding{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainRes, plainSt, err := Simulate(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Merged != plainSt {
+		t.Fatalf("shards=1 stats diverged from unsharded:\n sharded %+v\n plain   %+v", one.Merged, plainSt)
+	}
+	assertResultsEqual(t, plainRes, one.Results[0])
+}

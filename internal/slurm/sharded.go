@@ -255,6 +255,11 @@ func (s *Stats) Merge(o Stats) {
 	s.DownGPUHours += o.DownGPUHours
 	s.MonitorDropped += o.MonitorDropped
 	s.MonitorStalled += o.MonitorStalled
+	s.PredictHits += o.PredictHits
+	s.PredictMisses += o.PredictMisses
+	s.PredictedBackfills += o.PredictedBackfills
+	s.PredictedBackfillWaitSec += o.PredictedBackfillWaitSec
+	s.PredictAbsErrSec += o.PredictAbsErrSec
 }
 
 // WaitAgg aggregates every completed job's queue wait across shards in

@@ -46,6 +46,11 @@ type Policy struct {
 	// off nodes with free GPUs so they cannot strand the reserved devices.
 	// 0 disables the guard.
 	ReservationAgeSec float64
+	// Predict, when enabled, softens the reservation fence with predicted
+	// runtimes: GPU candidates whose forecast completion lands before the
+	// reservation's shadow time still backfill (see predsched.go). The zero
+	// value keeps the default conservative path byte-identical.
+	Predict PredictPolicy
 }
 
 // DefaultPolicy returns the production Supercloud policy.
@@ -149,6 +154,22 @@ type Stats struct {
 	// Collector-fault outcomes from the monitoring pipeline.
 	MonitorDropped int64
 	MonitorStalled int
+	// Prediction-aware backfill outcomes (all zero unless Policy.Predict is
+	// enabled). Hits/misses score each completed attempt against the
+	// estimate the scheduler last used for it; a miss means the job overran
+	// its prediction and the mispredict fallback re-projected it at its
+	// requested limit.
+	PredictHits   int
+	PredictMisses int
+	// PredictedBackfills counts GPU jobs admitted past an armed reservation
+	// on the strength of a prediction; PredictedBackfillWaitSec sums their
+	// queue waits (the wait-time delta against the conservative fence, which
+	// would have held them until the reserved job started).
+	PredictedBackfills       int64
+	PredictedBackfillWaitSec float64
+	// PredictAbsErrSec sums |actual − estimated| runtime over scored
+	// completions; divide by Completed for the run's mean absolute error.
+	PredictAbsErrSec float64
 }
 
 // MeanGPUOccupancy returns busy-GPU-hours over capacity-hours.
@@ -296,6 +317,9 @@ type Simulator struct {
 	busyGPUs  int
 	lastTick  float64
 	telemetry *Telemetry
+	// pred holds the online prediction state; nil unless Policy.Predict is
+	// enabled, so the default path pays nothing.
+	pred *schedPredictor
 
 	// Fault-injection state, allocated only when cfg.Faults is non-empty so
 	// the fault-free hot path carries no extra work. faultsOn sits next to
@@ -394,6 +418,9 @@ func (s *Simulator) prepare(specs []workload.JobSpec) error {
 		s.events = naiveNewEventQueue(initial)
 	default:
 		s.events = newCalQueue(initial)
+	}
+	if s.cfg.Policy.Predict.Enabled {
+		s.pred = newSchedPredictor(s.cfg.Policy.Predict, n, s.cfg.MonitorSeed)
 	}
 	return s.setupFaults()
 }
@@ -637,11 +664,16 @@ func (s *Simulator) schedule() error {
 	// arm grants the pass's reservation to a blocked GPU job once it has
 	// aged past the guard threshold — whatever its position in the queue,
 	// not just at the head. Everything scanned after it backfills only
-	// around the hold: GPU jobs are skipped, CPU jobs must avoid nodes with
-	// free GPUs.
-	arm := func(sp *workload.JobSpec) {
+	// around the hold: GPU jobs are skipped (or, under Policy.Predict,
+	// admitted when their forecast completion beats the reservation's shadow
+	// time), and CPU jobs must avoid nodes with free GPUs.
+	reservedIdx := -1
+	var shadow float64
+	shadowValid := false
+	arm := func(idx int, sp *workload.JobSpec) {
 		if !reserving && ageSec > 0 && s.now-sp.SubmitSec >= ageSec {
 			reserving = true
+			reservedIdx = idx
 		}
 	}
 	for _, queue := range [2][]int{s.pendMulti, s.pendSingle} {
@@ -654,10 +686,15 @@ func (s *Simulator) schedule() error {
 			}
 			sp := &s.specs[idx]
 			isGPU := sp.IsGPU()
+			predAdmit := false
 			if reserving && isGPU {
 				// An aged blocked GPU job holds a reservation: freed GPUs
-				// accumulate for it instead of leaking to backfill.
-				continue
+				// accumulate for it instead of leaking to backfill — unless
+				// prediction projects this candidate done before the shadow.
+				if s.pred == nil || !s.predictiveAdmit(sp, reservedIdx, &shadow, &shadowValid) {
+					continue
+				}
+				predAdmit = true
 			}
 			if s.blockedEpoch[idx] == s.epoch && (!s.blockedRestricted[idx] || reserving) {
 				s.stats.AllocCacheHits++
@@ -665,7 +702,7 @@ func (s *Simulator) schedule() error {
 				if depth == 0 {
 					stop = true // strict FIFO: a blocked head blocks the queue
 				} else if isGPU {
-					arm(sp)
+					arm(idx, sp)
 				}
 				continue
 			}
@@ -684,7 +721,7 @@ func (s *Simulator) schedule() error {
 					if depth == 0 {
 						stop = true
 					} else if isGPU {
-						arm(sp)
+						arm(idx, sp)
 					}
 					continue
 				}
@@ -693,6 +730,10 @@ func (s *Simulator) schedule() error {
 			s.startedMark[idx] = true
 			startedAny = true
 			s.start(idx, alloc)
+			if predAdmit {
+				s.stats.PredictedBackfills++
+				s.stats.PredictedBackfillWaitSec += s.now - sp.SubmitSec
+			}
 		}
 		if stop {
 			break
@@ -772,6 +813,9 @@ func (s *Simulator) start(idx int, alloc *cluster.Allocation) {
 	}
 	s.results[sp.ID] = res
 	s.busyGPUs += len(res.GPUs)
+	if s.pred != nil {
+		s.pred.onStart(idx, sp)
+	}
 	if s.pipe != nil && sp.IsGPU() {
 		sources := make([]monitor.Source, len(sp.Profiles))
 		for i, p := range sp.Profiles {
@@ -835,6 +879,9 @@ func (s *Simulator) finish(e event) error {
 	s.liveJobs--
 	res := s.results[sp.ID]
 	s.busyGPUs -= len(res.GPUs)
+	if s.pred != nil {
+		s.pred.onFinish(idx, sp, res, s.now, &s.stats)
+	}
 	if err := s.cluster.Release(sp.ID); err != nil {
 		return err
 	}

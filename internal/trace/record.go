@@ -59,6 +59,11 @@ const (
 	ExitTimeout
 	// ExitFailed is a non-zero exit code (crash, assertion, OOM).
 	ExitFailed
+
+	// NumExitStatuses bounds the enum so table-driven consumers (the
+	// life-cycle classifier) can prove exhaustiveness over every
+	// (ExitStatus × Interface) pair.
+	NumExitStatuses
 )
 
 // String returns the status name.
