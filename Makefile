@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test short race race-sched race-analyze race-fault fuzz bench bench-pr3 bench-fault bench-pr6 bench-pr7 bench-figures alloc-guard golden clean
+.PHONY: check build vet lint test short race race-sched race-analyze race-fault race-stream fuzz bench bench-pr3 bench-fault bench-pr6 bench-pr7 bench-pr8 bench-figures alloc-guard golden clean
 
-check: lint build alloc-guard race-sched race-analyze race-fault race
+check: lint build alloc-guard race-sched race-analyze race-fault race-stream race
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,14 @@ race-analyze:
 # monitor layers, under the race detector.
 race-fault:
 	$(GO) test -race -run 'Fault|FailureStorm|Requeue|Checkpoint|NodeCrash|NodeDrain|RunContext' 		./internal/slurm ./internal/engine ./internal/monitor ./internal/faults
+
+# Streaming-store race pass (PR 8): concurrent appends against concurrent
+# snapshot queries on the segmented store, the engine's streaming
+# replication fan-in, and simcloudd's parallel ingest+query HTTP surface,
+# all under the race detector.
+race-stream:
+	$(GO) test -race -run 'TestSegStoreConcurrent|TestRunStream' ./internal/trace ./internal/engine
+	$(GO) test -race -run 'TestServerConcurrentIngestQuery' ./cmd/simcloudd
 
 # Short fuzz session over every trace codec target, plus the calendar event
 # queue cross-checked against the heap spec (PR 6) and the P² quantile
@@ -111,6 +119,20 @@ bench-pr6:
 bench-pr7:
 	$(GO) test -run '^$$' -bench '^Benchmark(Simulate|Schedule|PredictSched)$$' 		-benchtime 1x -timeout 2h . | tee bench/last_run_pr7.txt
 	$(GO) run ./cmd/benchjson -label post-predictsched 		-baseline BENCH_PR6.json < bench/last_run_pr7.txt > BENCH_PR7.json
+
+# Streaming-ingest benchmarks (PR 8): the interleaved append+query workload
+# on the segmented store vs. the committed rebuild-per-batch numbers
+# (bench/baseline_pr8.json carries the rebuild rows renamed to the streaming
+# names so benchjson joins them — the speedup column at jobs=100k is the
+# acceptance number, bar ≥10x), plus BenchmarkCharacterize re-run to guard
+# the batch path against the same file's PR 3 rows (within 1.05x).
+# BenchmarkStreamingIngestRebuild rides along unjoined so the baseline can
+# be reproduced on any machine.
+bench-pr8:
+	$(GO) test -run '^$$' -bench '^Benchmark(StreamingIngest|StreamingIngestRebuild|Characterize)$$' \
+		-benchtime 1x -timeout 2h . | tee bench/last_run_pr8.txt
+	$(GO) run ./cmd/benchjson -label post-segstore \
+		-baseline bench/baseline_pr8.json < bench/last_run_pr8.txt > BENCH_PR8.json
 
 # Allocation-count guards (PR 6, part of `make check`): the calendar queue's
 # steady-state zero-allocation property and the end-to-end per-job allocation

@@ -1,0 +1,216 @@
+// Command simcloudd is the always-on counterpart of simcloud: a
+// long-running HTTP service that ingests job records into the segmented
+// columnar store (trace.SegStore) and answers live figure queries while
+// ingest continues — the architectural target of ROADMAP item 1, shaped
+// like the system-wide telemetry services the paper's operational sections
+// describe.
+//
+// Ingest appends are O(tail): sealed segments are immutable, their sorted
+// views are cached once and merged (never re-sorted) at query time, and a
+// query between appends reuses the memoized snapshot outright. Memory is
+// bounded by -max-jobs (ingest past the bound is rejected with 507) and
+// -max-segments (sealed segments past the bound are pairwise compacted).
+//
+// Usage:
+//
+//	simcloudd -addr :8080 -segment-jobs 4096 -max-segments 64 -max-jobs 2000000
+//	tracegen -scale 0.05 -json | curl -sS --data-binary @- localhost:8080/v1/ingest
+//	curl -sS localhost:8080/v1/summary   # O(segments) streaming digest
+//	curl -sS localhost:8080/v1/figures   # full characterization suite
+//
+// Endpoints:
+//
+//	POST /v1/ingest   JSON dataset (tracegen -json / simcloud -out format);
+//	                  jobs append in input order, series join on job ID
+//	GET  /v1/stats    store geometry: jobs, segments, tail, staged, memory bound
+//	GET  /v1/summary  merged per-segment digest (counts, moments) as JSON
+//	GET  /v1/figures  full figure suite over a snapshot (text tables)
+//	POST /v1/seal     seal the tail now (admin)
+//	POST /v1/compact  pairwise-compact sealed segments now (admin)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simcloudd: ")
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		segmentJobs = flag.Int("segment-jobs", trace.DefaultSegmentJobs, "seal the mutable tail every N jobs")
+		maxSegments = flag.Int("max-segments", 64, "compact when sealed segments exceed N (0 = never)")
+		maxJobs     = flag.Int("max-jobs", 2_000_000, "reject ingest beyond N stored jobs (0 = unbounded)")
+		days        = flag.Float64("days", 125, "observation window for figure normalization")
+		workers     = flag.Int("workers", 0, "worker goroutines for figure queries (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	srv := newServer(trace.SegConfig{
+		DurationDays: *days,
+		SegmentJobs:  *segmentJobs,
+		MaxSegments:  *maxSegments,
+	}, *maxJobs, *workers)
+	log.Printf("listening on %s (segment-jobs=%d max-segments=%d max-jobs=%d)",
+		*addr, *segmentJobs, *maxSegments, *maxJobs)
+	log.Fatal(http.ListenAndServe(*addr, srv.mux()))
+}
+
+// server holds the store and the query policy. All handlers are safe for
+// concurrent use: the store serializes mutations internally and snapshots
+// are immutable.
+type server struct {
+	store   *trace.SegStore
+	maxJobs int
+	workers int
+}
+
+func newServer(cfg trace.SegConfig, maxJobs, workers int) *server {
+	return &server{store: trace.NewSegStore(cfg), maxJobs: maxJobs, workers: workers}
+}
+
+func (s *server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("/v1/ingest", s.handleIngest)
+	m.HandleFunc("/v1/stats", s.handleStats)
+	m.HandleFunc("/v1/summary", s.handleSummary)
+	m.HandleFunc("/v1/figures", s.handleFigures)
+	m.HandleFunc("/v1/seal", s.handleSeal)
+	m.HandleFunc("/v1/compact", s.handleCompact)
+	return m
+}
+
+// ingestResponse reports one ingest batch's outcome.
+type ingestResponse struct {
+	Ingested int `json:"ingested"`
+	Series   int `json:"series"`
+	Jobs     int `json:"jobs_total"`
+	Segments int `json:"segments"`
+}
+
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	ds, err := trace.ReadJSON(r.Body)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("decode: %v", err), http.StatusBadRequest)
+		return
+	}
+	if s.maxJobs > 0 && s.store.Len()+len(ds.Jobs) > s.maxJobs {
+		http.Error(w, fmt.Sprintf("store at %d jobs, batch of %d exceeds -max-jobs %d",
+			s.store.Len(), len(ds.Jobs), s.maxJobs), http.StatusInsufficientStorage)
+		return
+	}
+	s.store.AppendDataset(ds)
+	writeJSON(w, ingestResponse{
+		Ingested: len(ds.Jobs),
+		Series:   len(ds.Series),
+		Jobs:     s.store.Len(),
+		Segments: s.store.Segments(),
+	})
+}
+
+// statsResponse is the store-geometry view.
+type statsResponse struct {
+	Jobs     int    `json:"jobs"`
+	MaxJobs  int    `json:"max_jobs"`
+	Segments int    `json:"segments"`
+	TailJobs int    `json:"tail_jobs"`
+	Staged   int    `json:"staged_telemetry"`
+	Gen      uint64 `json:"generation"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	v := s.store.Snapshot()
+	writeJSON(w, statsResponse{
+		Jobs:     v.NJobs,
+		MaxJobs:  s.maxJobs,
+		Segments: v.Segments,
+		TailJobs: v.TailJobs,
+		Staged:   s.store.StagedJobs(),
+		Gen:      v.Gen,
+	})
+}
+
+// summaryResponse flattens the mergeable digest for JSON consumers.
+type summaryResponse struct {
+	Jobs     int `json:"jobs"`
+	GPUJobs  int `json:"gpu_jobs"`
+	CPUJobs  int `json:"cpu_jobs"`
+	MultiGPU int `json:"multi_gpu_jobs"`
+
+	TotalGPUHours float64 `json:"total_gpu_hours"`
+	MeanWaitSec   float64 `json:"mean_wait_sec"`
+	MeanRunMin    float64 `json:"mean_run_min"`
+	MeanSMPct     float64 `json:"mean_sm_util_pct"`
+}
+
+func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	sum := s.store.Summary()
+	resp := summaryResponse{
+		Jobs:     sum.Jobs,
+		GPUJobs:  sum.GPUJobs,
+		CPUJobs:  sum.CPUJobs,
+		MultiGPU: sum.MultiGPU,
+
+		TotalGPUHours: sum.GPUHours.Sum(),
+	}
+	if sum.GPUJobs > 0 {
+		resp.MeanWaitSec = sum.WaitSec.Mean()
+		resp.MeanRunMin = sum.RunMin.Mean()
+		resp.MeanSMPct = sum.MeanUtil[0].Mean()
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleFigures(w http.ResponseWriter, r *http.Request) {
+	start := time.Now() //lint:allow nowallclock server-side query latency, not simulation time
+	v := s.store.Snapshot()
+	rep := core.CharacterizeSeg(v, s.workers)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	queryMS := float64(time.Since(start).Microseconds()) / 1000 //lint:allow nowallclock server-side query latency, not simulation time
+	fmt.Fprintf(w, "# snapshot: %d jobs, %d segments (+%d tail), query %.1f ms\n\n",
+		v.NJobs, v.Segments, v.TailJobs, queryMS)
+	if err := report.RenderReport(w, rep); err != nil {
+		// Headers are gone; all we can do is log.
+		log.Printf("figures: %v", err)
+	}
+}
+
+func (s *server) handleSeal(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.store.SealTail()
+	writeJSON(w, map[string]int{"segments": s.store.Segments()})
+}
+
+func (s *server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.store.Compact()
+	writeJSON(w, map[string]int{"segments": s.store.Segments()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("encode: %v", err)
+	}
+}

@@ -1,0 +1,268 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// testDataset synthesizes a small population for server tests.
+func testDataset(t *testing.T, scale float64, seed uint64) *trace.Dataset {
+	t.Helper()
+	cfg := workload.ScaledConfig(scale)
+	cfg.Seed = seed
+	g, err := workload.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.BuildDataset(g.GenerateSpecs())
+}
+
+// encodeBatch renders a job slice (plus its series) in the ingest format.
+func encodeBatch(t *testing.T, ds *trace.Dataset, lo, hi int) *bytes.Buffer {
+	t.Helper()
+	batch := &trace.Dataset{Jobs: ds.Jobs[lo:hi], Series: map[int64]*trace.TimeSeries{}, DurationDays: ds.DurationDays}
+	for _, j := range batch.Jobs {
+		if ts := ds.Series[j.JobID]; ts != nil {
+			batch.Series[j.JobID] = ts
+		}
+	}
+	var buf bytes.Buffer
+	if err := batch.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+// TestServerIngestQuery drives the full HTTP surface serially: batched
+// ingest, stats, summary, admin seal/compact, and a figures render that
+// matches the batch pipeline over the same jobs.
+func TestServerIngestQuery(t *testing.T) {
+	ds := testDataset(t, 0.02, 3)
+	srv := newServer(trace.SegConfig{DurationDays: ds.DurationDays, SegmentJobs: 100, MaxSegments: 8}, 0, 2)
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	step := len(ds.Jobs)/4 + 1
+	for lo := 0; lo < len(ds.Jobs); lo += step {
+		hi := lo + step
+		if hi > len(ds.Jobs) {
+			hi = len(ds.Jobs)
+		}
+		resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", encodeBatch(t, ds, lo, hi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest: %s", resp.Status)
+		}
+		var ir ingestResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if ir.Jobs != hi {
+			t.Fatalf("jobs_total = %d after %d ingested", ir.Jobs, hi)
+		}
+	}
+
+	var st statsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Jobs != len(ds.Jobs) {
+		t.Fatalf("stats.jobs = %d, want %d", st.Jobs, len(ds.Jobs))
+	}
+
+	var sum summaryResponse
+	getJSON(t, ts.URL+"/v1/summary", &sum)
+	cols := trace.BuildColumns(ds)
+	if sum.GPUJobs != len(cols.GPU) || sum.CPUJobs != len(cols.CPU) {
+		t.Fatalf("summary populations %d/%d, want %d/%d", sum.GPUJobs, sum.CPUJobs, len(cols.GPU), len(cols.CPU))
+	}
+
+	for _, ep := range []string{"/v1/seal", "/v1/compact"} {
+		resp, err := http.Post(ts.URL+ep, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %s", ep, resp.Status)
+		}
+	}
+
+	// The rendered figures must match the batch pipeline over the same jobs.
+	var wantText, gotText bytes.Buffer
+	if err := report.RenderReport(&wantText, core.Characterize(ds)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/figures")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gotText.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	body := gotText.String()
+	if i := strings.Index(body, "\n\n"); i >= 0 {
+		body = body[i+2:] // drop the snapshot header line
+	}
+	if body != wantText.String() {
+		t.Errorf("figures render differs from batch pipeline (%d vs %d bytes)", len(body), wantText.Len())
+	}
+}
+
+// TestServerBoundedMemory pins the -max-jobs admission bound.
+func TestServerBoundedMemory(t *testing.T) {
+	ds := testDataset(t, 0.01, 5)
+	srv := newServer(trace.SegConfig{DurationDays: ds.DurationDays, SegmentJobs: 50}, len(ds.Jobs)/2, 1)
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", encodeBatch(t, ds, 0, len(ds.Jobs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("over-bound ingest: %s, want 507", resp.Status)
+	}
+	half := len(ds.Jobs) / 2
+	resp, err = http.Post(ts.URL+"/v1/ingest", "application/json", encodeBatch(t, ds, 0, half))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-bound ingest: %s", resp.Status)
+	}
+	if srv.store.Len() != half {
+		t.Fatalf("store has %d jobs, want %d", srv.store.Len(), half)
+	}
+}
+
+// TestServerConcurrentIngestQuery is the -race scenario behind the
+// race-stream make target: parallel ingest writers against parallel
+// summary/stats/figures readers, then a final consistency check against the
+// batch pipeline.
+func TestServerConcurrentIngestQuery(t *testing.T) {
+	ds := testDataset(t, 0.02, 7)
+	srv := newServer(trace.SegConfig{DurationDays: ds.DurationDays, SegmentJobs: 64, MaxSegments: 6}, 0, 2)
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	const writers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Writers own disjoint interleaved batches; ingest order across
+			// writers is arbitrary, which the figures check below absorbs by
+			// comparing populations, not order-sensitive bytes.
+			step := len(ds.Jobs)/(writers*8) + 1
+			for lo := w * step; lo < len(ds.Jobs); lo += writers * step {
+				hi := lo + step
+				if hi > len(ds.Jobs) {
+					hi = len(ds.Jobs)
+				}
+				resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", encodeBatch(t, ds, lo, hi))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("ingest: %s", resp.Status)
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	readerErr := make(chan error, 3)
+	var rwg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				var st statsResponse
+				if err := getJSONErr(ts.URL+"/v1/stats", &st); err != nil {
+					readerErr <- err
+					return
+				}
+				var sum summaryResponse
+				if err := getJSONErr(ts.URL+"/v1/summary", &sum); err != nil {
+					readerErr <- err
+					return
+				}
+				if sum.Jobs < st.Jobs {
+					// A later snapshot can only grow; the digest may run
+					// ahead of the stats read, never behind it.
+					readerErr <- fmt.Errorf("summary jobs %d < earlier stats jobs %d", sum.Jobs, st.Jobs)
+					return
+				}
+				resp, err := http.Get(ts.URL + "/v1/figures")
+				if err != nil {
+					readerErr <- err
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	rwg.Wait()
+	select {
+	case err := <-readerErr:
+		t.Fatal(err)
+	default:
+	}
+
+	if srv.store.Len() != len(ds.Jobs) {
+		t.Fatalf("store has %d jobs, want %d", srv.store.Len(), len(ds.Jobs))
+	}
+	sum := srv.store.Summary()
+	cols := trace.BuildColumns(ds)
+	if sum.GPUJobs != len(cols.GPU) || sum.CPUJobs != len(cols.CPU) || sum.MultiGPU != len(cols.Multi) {
+		t.Fatalf("populations %d/%d/%d, want %d/%d/%d",
+			sum.GPUJobs, sum.CPUJobs, sum.MultiGPU, len(cols.GPU), len(cols.CPU), len(cols.Multi))
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	if err := getJSONErr(url, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func getJSONErr(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

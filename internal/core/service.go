@@ -1,7 +1,6 @@
 package core
 
 import (
-	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -56,14 +55,14 @@ func WaitsCols(c *trace.Columns) WaitResult {
 	r.GPUWaitPct = colCDF(c.WaitPct)
 	r.CPUWaitPct = colCDF(c.CPUWaitPct)
 	if c.WaitSec.N() > 0 {
-		r.GPUWaitUnder1MinFrac = stats.FractionBelowSorted(c.WaitSec.Sorted(), 60)
-		r.GPUWaitPctUnder2Frac = stats.FractionBelowSorted(c.WaitPct.Sorted(), 2)
+		r.GPUWaitUnder1MinFrac = c.WaitSec.Stats().FractionBelow(60)
+		r.GPUWaitPctUnder2Frac = c.WaitPct.Stats().FractionBelow(2)
 	}
 	if c.CPUWaitSec.N() > 0 {
-		r.CPUWaitOver1MinFrac = stats.FractionAboveSorted(c.CPUWaitSec.Sorted(), 60)
+		r.CPUWaitOver1MinFrac = c.CPUWaitSec.Stats().FractionAbove(60)
 	}
 	for s := range c.WaitBySize {
-		r.MedianWaitBySize[s] = stats.QuantileSorted(c.WaitBySize[s].Sorted(), 0.5)
+		r.MedianWaitBySize[s] = c.WaitBySize[s].Stats().Quantile(0.5)
 	}
 	return r
 }

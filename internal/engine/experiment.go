@@ -32,16 +32,28 @@ type Experiment struct {
 // call builds its own generator and simulator, so replications share no
 // mutable state.
 func (e Experiment) Replicator() Replicator {
+	run := e.DatasetReplicator()
 	return func(ctx context.Context, rep int, seed uint64) (Sample, error) {
+		_, sm, err := run(ctx, rep, seed)
+		return sm, err
+	}
+}
+
+// DatasetReplicator returns the streaming form of the experiment pipeline:
+// the same synthesis → simulation → characterization chain, but handing
+// back the replication's dataset for RunStream to append into a segmented
+// store alongside the scalar sample.
+func (e Experiment) DatasetReplicator() DatasetReplicator {
+	return func(ctx context.Context, rep int, seed uint64) (*trace.Dataset, Sample, error) {
 		gcfg := e.Gen
 		gcfg.Seed = seed
 		gen, err := workload.NewGenerator(gcfg)
 		if err != nil {
-			return nil, fmt.Errorf("replication %d: %w", rep, err)
+			return nil, nil, fmt.Errorf("replication %d: %w", rep, err)
 		}
 		specs := gen.GenerateSpecs()
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		scfg := e.Sim
 		if scfg.Monitor != nil {
@@ -63,7 +75,7 @@ func (e Experiment) Replicator() Replicator {
 		if e.Sharding.Shards > 1 {
 			run, err := slurm.SimulateSharded(ctx, scfg, specs, e.Sharding)
 			if err != nil {
-				return nil, fmt.Errorf("replication %d: %w", rep, err)
+				return nil, nil, fmt.Errorf("replication %d: %w", rep, err)
 			}
 			// Shard-level rejections (jobs no sub-cluster can hold) count
 			// with the submit-time rejections.
@@ -73,17 +85,17 @@ func (e Experiment) Replicator() Replicator {
 		} else {
 			sim, err := slurm.NewSimulator(scfg)
 			if err != nil {
-				return nil, fmt.Errorf("replication %d: %w", rep, err)
+				return nil, nil, fmt.Errorf("replication %d: %w", rep, err)
 			}
 			results, rst, err := sim.RunContext(ctx, specs)
 			if err != nil {
-				return nil, fmt.Errorf("replication %d: %w", rep, err)
+				return nil, nil, fmt.Errorf("replication %d: %w", rep, err)
 			}
 			st = rst
 			ds = sim.BuildDataset(specs, results, gcfg.DurationDays)
 		}
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		sm := Characterize(ds, st)
 		sm["jobs_rejected"] = float64(len(rejected))
@@ -106,7 +118,7 @@ func (e Experiment) Replicator() Replicator {
 			sm["monitor_dropped_samples"] = float64(st.MonitorDropped)
 			sm["monitor_stalled_jobs"] = float64(st.MonitorStalled)
 		}
-		return sm, nil
+		return ds, sm, nil
 	}
 }
 

@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/dist"
+	"repro/internal/trace"
+)
+
+// DatasetReplicator computes one replication and returns its full dataset
+// alongside the scalar sample — the streaming analogue of Replicator for
+// callers that want the per-job records, not just the folded metrics.
+// The same concurrency contract applies: no shared mutable state.
+type DatasetReplicator func(ctx context.Context, rep int, seed uint64) (*trace.Dataset, Sample, error)
+
+// repIDBits is the job-ID namespace width left to one replication when
+// streaming into a shared store: IDs are offset by (rep+1)<<repIDBits so
+// records from different replications never collide. 2^40 jobs per
+// replication is far beyond any simulated population.
+const repIDBits = 40
+
+// StreamJobID returns the store-wide job ID of job id in replication rep.
+func StreamJobID(rep int, id int64) int64 {
+	return (int64(rep)+1)<<repIDBits | id
+}
+
+// RunStream executes cfg.Reps replications of fn across the worker pool and
+// streams every completed replication's dataset into store. Completions are
+// flushed in replication-index order (out-of-order finishers park in a
+// pending buffer), so the store's append sequence — and therefore every
+// figure computed from any of its snapshots — is bit-identical for any
+// worker count, extending the engine's determinism guarantee to the
+// streaming path. Job IDs are namespaced per replication via StreamJobID
+// before appending. Unlike Run, a replication failure aborts the batch: a
+// half-streamed store has no meaningful merged interpretation.
+func RunStream(ctx context.Context, cfg Config, store *trace.SegStore, fn DatasetReplicator) (*Batch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if store == nil {
+		return nil, fmt.Errorf("engine: RunStream needs a store")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Reps {
+		workers = cfg.Reps
+	}
+
+	batch := &Batch{
+		RootSeed: cfg.RootSeed,
+		Results:  make([]RepResult, cfg.Reps),
+	}
+	for i := range batch.Results {
+		batch.Results[i] = RepResult{Rep: i, Seed: dist.StreamSeed(cfg.RootSeed, uint64(i))}
+	}
+
+	// pending parks completed datasets until every lower replication has
+	// been flushed; whichever worker completes a replication drains the
+	// ready prefix, so flushing needs no dedicated goroutine.
+	var (
+		flushMu sync.Mutex
+		pending = make(map[int]*trace.Dataset, workers)
+		next    int
+	)
+	flush := func(rep int, ds *trace.Dataset) {
+		flushMu.Lock()
+		defer flushMu.Unlock()
+		pending[rep] = ds
+		for {
+			d, ok := pending[next]
+			if !ok {
+				return
+			}
+			delete(pending, next)
+			appendNamespaced(store, next, d)
+			next++
+		}
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for rep := range jobs {
+				r := &batch.Results[rep]
+				r.Started = true
+				var ds *trace.Dataset
+				ds, r.Sample, r.Err = runOneDS(ctx, fn, rep, r.Seed)
+				if r.Err == nil {
+					flush(rep, ds)
+				}
+			}
+		}()
+	}
+
+dispatch:
+	for rep := 0; rep < cfg.Reps; rep++ {
+		select {
+		case jobs <- rep:
+		case <-ctx.Done():
+			batch.Canceled = true
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if !batch.Canceled && ctx.Err() != nil {
+		batch.Canceled = true
+	}
+	for i := range batch.Results {
+		if !batch.Results[i].Started {
+			batch.Results[i].Err = ctx.Err()
+		}
+	}
+	if err := batch.FirstErr(); err != nil {
+		return batch, err
+	}
+
+	batch.Merged = NewSummary()
+	for i := range batch.Results {
+		r := &batch.Results[i]
+		if r.Started && r.Err == nil {
+			batch.Merged.AddSample(r.Rep, r.Sample)
+		}
+	}
+	return batch, nil
+}
+
+// appendNamespaced streams ds into store with rep-namespaced job IDs.
+// Records append in dataset order; each retained series is re-keyed and
+// attached after its job.
+func appendNamespaced(store *trace.SegStore, rep int, ds *trace.Dataset) {
+	for i := range ds.Jobs {
+		j := ds.Jobs[i]
+		oldID := j.JobID
+		j.JobID = StreamJobID(rep, oldID)
+		store.Append(j)
+		if ts := ds.Series[oldID]; ts != nil {
+			keyed := *ts
+			keyed.JobID = j.JobID
+			store.AttachSeries(&keyed)
+		}
+	}
+}
+
+// runOneDS invokes the dataset replicator behind the panic barrier.
+func runOneDS(ctx context.Context, fn DatasetReplicator, rep int, seed uint64) (ds *trace.Dataset, sample Sample, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ds, sample = nil, nil
+			err = fmt.Errorf("engine: replication %d panicked: %v", rep, r)
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return fn(ctx, rep, seed)
+}

@@ -22,6 +22,11 @@ import (
 //     order-stable — the fix is to write per-worker partials into distinct
 //     slots and fold them in index order, the pattern internal/engine and
 //     internal/core/parallel.go use.
+//  3. A `Merge` method call on an accumulator declared outside the same two
+//     extents: moment merges (stats.Streaming, trace.SegSummary) re-
+//     associate float sums, so folding them in map-iteration or goroutine-
+//     completion order is the same ulp hazard in digest form. Segment
+//     summaries must fold in segment-index order, as SegStore.Summary does.
 //
 // Runtime backstop: TestParallelWorkerEquivalence and the engine's
 // worker-count bit-identity tests.
@@ -60,6 +65,10 @@ func runFloatAccum(pass *Pass) error {
 // Nested map-ranges and nested go-literals are left to their own visits.
 func reportFloatAccums(pass *Pass, body *ast.BlockStmt, extent ast.Node, keyObj types.Object, why string) {
 	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			reportOrderedMerge(pass, call, extent, keyObj, why)
+			return true
+		}
 		st, ok := n.(*ast.AssignStmt)
 		if !ok {
 			return true
@@ -104,6 +113,37 @@ func reportFloatAccums(pass *Pass, body *ast.BlockStmt, extent ast.Node, keyObj 
 		pass.Reportf(st.Pos(), "float accumulation into %s %s", exprString(pass, lhs), why)
 		return true
 	})
+}
+
+// reportOrderedMerge flags `acc.Merge(…)` calls whose receiver is declared
+// outside the extent: a mergeable digest folded in map-iteration or
+// goroutine-completion order re-associates its float moments run to run. A
+// receiver cell indexed by the loop key is exempt for the usual reason.
+func reportOrderedMerge(pass *Pass, call *ast.CallExpr, extent ast.Node, keyObj types.Object, why string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Merge" || len(call.Args) == 0 {
+		return
+	}
+	// Only methods: a package-level Merge function has no accumulating
+	// receiver to order.
+	if _, isPkg := pass.Info.ObjectOf(sel.Sel).(*types.Func); !isPkg {
+		return
+	}
+	if pass.Info.Selections[sel] == nil {
+		return // qualified identifier (pkg.Merge), not a method call
+	}
+	if indexedByKey(pass, sel.X, keyObj) {
+		return
+	}
+	base := leftmostIdent(sel.X)
+	if base == nil {
+		return
+	}
+	obj := pass.Info.ObjectOf(base)
+	if obj == nil || (obj.Pos() >= extent.Pos() && obj.Pos() <= extent.End()) {
+		return
+	}
+	pass.Reportf(call.Pos(), "Merge into %s %s", exprString(pass, sel.X), why)
 }
 
 // sameObject reports whether two expressions are the same identifier object.

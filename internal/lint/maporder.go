@@ -9,9 +9,11 @@ import (
 
 // MapOrder flags `range` loops over maps whose bodies produce order-
 // dependent output: appending to a slice declared outside the loop, string-
-// concatenating into an outer variable, or writing formatted output to a
-// stream. Go randomizes map iteration order per run, so any of these makes
-// golden figures and replication merges flap. Order-independent uses — a
+// concatenating into an outer variable, writing formatted output to a
+// stream, or calling an ordered-sink method (AddRow*/Append*/Write*/Print*/
+// Emit*) on a builder declared outside the loop. Go randomizes map
+// iteration order per run, so any of these makes golden figures and
+// replication merges flap. Order-independent uses — a
 // write into another map keyed by the loop key, a counter increment, a
 // min/max fold — pass untouched.
 //
@@ -112,6 +114,9 @@ func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, funcBody *ast.BlockStmt) 
 			if name, ok := streamWriteCall(pass, st); ok {
 				pass.Reportf(st.Pos(),
 					"%s inside range over map emits output in nondeterministic order; range over sorted keys instead", name)
+			} else if name, recv, ok := orderedSinkMethod(pass, st, rng, keyObj); ok {
+				pass.Reportf(st.Pos(),
+					"%s on %s inside range over map appends rows/output in nondeterministic order; range over sorted keys instead", name, recv)
 			}
 		}
 		return true
@@ -165,6 +170,42 @@ func checkMapRangeAssign(pass *Pass, rng *ast.RangeStmt, st *ast.AssignStmt, key
 				target.Name)
 		}
 	}
+}
+
+// orderedSinkNamePrefixes are method-name prefixes that append to an ordered
+// sink: table builders (AddRow/AddRowF — the shape behind a Fig. 8b render
+// bug where rows flapped per process), buffer and stream writers, printers.
+var orderedSinkNamePrefixes = []string{"AddRow", "Append", "Write", "Print", "Emit"}
+
+// orderedSinkMethod reports method calls inside a map range that append a
+// row, write bytes, or print through a receiver declared outside the loop —
+// each call lands in sink order, which is the map's randomized visit order.
+// A receiver created inside the loop (a fresh builder per iteration) or
+// indexed by the loop key is exempt.
+func orderedSinkMethod(pass *Pass, call *ast.CallExpr, rng *ast.RangeStmt, keyObj types.Object) (name, recv string, flagged bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || pass.Info.Selections[sel] == nil {
+		return "", "", false // not a method call (e.g. a package function)
+	}
+	prefixed := false
+	for _, p := range orderedSinkNamePrefixes {
+		if strings.HasPrefix(sel.Sel.Name, p) {
+			prefixed = true
+			break
+		}
+	}
+	if !prefixed || indexedByKey(pass, sel.X, keyObj) {
+		return "", "", false
+	}
+	base := leftmostIdent(sel.X)
+	if base == nil {
+		return "", "", false
+	}
+	obj := pass.Info.ObjectOf(base)
+	if obj == nil || !declaredOutside(pass, obj, rng) {
+		return "", "", false
+	}
+	return sel.Sel.Name, exprString(pass, sel.X), true
 }
 
 // sortedAfter reports whether target is sorted after the range loop within

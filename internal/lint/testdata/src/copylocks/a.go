@@ -39,3 +39,29 @@ func cleanFresh() *guarded {
 	// Sharing via pointer is the correct shape; nothing is copied.
 	return &guarded{n: 1}
 }
+
+// noCopy is the vet sentinel convention: niladic pointer-receiver
+// Lock/Unlock methods and no state. Embedding it marks the container as
+// do-not-copy even though no real lock is involved.
+type noCopy struct{}
+
+func (*noCopy) Lock()   {}
+func (*noCopy) Unlock() {}
+
+type memoized struct {
+	noCopy noCopy
+	cached []int
+}
+
+func flaggedSentinelParam(m memoized) int { // want `passes lock by value: it contains noCopy \(Lock/Unlock no-copy sentinel\)`
+	return len(m.cached)
+}
+
+func flaggedSentinelAssign(m *memoized) {
+	cp := *m // want `assignment copies lock value`
+	_ = cp.cached
+}
+
+func cleanSentinelPointer(m *memoized) int {
+	return len(m.cached)
+}

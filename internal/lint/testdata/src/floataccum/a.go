@@ -52,3 +52,62 @@ func cleanSliceRange(vals []float64) float64 {
 	}
 	return sum
 }
+
+// digest stands in for a mergeable moment accumulator (stats.Streaming,
+// trace.SegSummary): Merge re-associates float sums, so fold order matters.
+type digest struct{ sum float64 }
+
+func (d *digest) Merge(o *digest) { d.sum += o.sum }
+
+func flaggedMergeMapRange(parts map[string]*digest) digest {
+	var out digest
+	for _, p := range parts {
+		out.Merge(p) // want `Merge into out inside range over map folds in nondeterministic iteration order`
+	}
+	return out
+}
+
+func flaggedMergeGoroutine(parts []*digest) digest {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var out digest
+	for _, p := range parts {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			out.Merge(p) // want `Merge into out into a captured variable folds in goroutine-completion order`
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func cleanMergeSliceRange(parts []*digest) digest {
+	var out digest
+	for _, p := range parts {
+		out.Merge(p) // slice range: segment-index order, the blessed fold
+	}
+	return out
+}
+
+func cleanMergeKeyed(parts map[string]*digest) map[string]*digest {
+	out := make(map[string]*digest, len(parts))
+	for k, p := range parts {
+		out[k] = &digest{}
+		out[k].Merge(p) // keyed by loop key: one cell per key
+	}
+	return out
+}
+
+func cleanMergeLocal(parts map[string]*digest) float64 {
+	total := 0.0
+	for _, p := range parts {
+		var local digest
+		local.Merge(p) // local accumulator: folded once per iteration
+		total = total + local.sum // want `float accumulation into total inside range over map`
+	}
+	return total
+}

@@ -53,3 +53,56 @@ func cleanCounter(m map[string]int) int {
 	}
 	return n
 }
+
+// table stands in for a report table builder: each AddRow call appends a
+// row, so call order is row order.
+type table struct{ rows []string }
+
+func (t *table) AddRow(cells ...string)          { t.rows = append(t.rows, cells...) }
+func (t *table) AddRowF(label string, v float64) { _ = label; _ = v }
+func (t *table) Lookup(k string) bool            { return len(t.rows) > 0 && t.rows[0] == k }
+
+type builder struct{ out string }
+
+func (b *builder) WriteString(s string) (int, error) { b.out += s; return len(s), nil }
+
+func flaggedAddRow(t *table, m map[string]float64) {
+	for k, v := range m {
+		_ = k
+		t.AddRowF(k, v) // want `AddRowF on t inside range over map appends rows/output in nondeterministic order`
+	}
+}
+
+func flaggedBuilderWrite(m map[string]int) string {
+	var b builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString on b inside range over map appends rows/output in nondeterministic order`
+	}
+	return b.out
+}
+
+func cleanFreshBuilderPerIteration(m map[string]int) map[string]string {
+	out := make(map[string]string, len(m))
+	for k := range m {
+		var b builder // declared inside the loop: one builder per iteration
+		b.WriteString(k)
+		out[k] = b.out
+	}
+	return out
+}
+
+func cleanNonSinkMethod(t *table, m map[string]int) int {
+	n := 0
+	for k := range m {
+		if t.Lookup(k) { // reads don't order anything
+			n++
+		}
+	}
+	return n
+}
+
+func cleanSinkIndexedByKey(ts map[string]*table, m map[string]float64) {
+	for k, v := range m {
+		ts[k].AddRowF(k, v) // one table per key; visit order cannot matter
+	}
+}

@@ -81,7 +81,10 @@ func checkFieldListCopies(pass *Pass, fl *ast.FieldList) {
 
 // lockPath returns a description of the sync primitive t contains by value,
 // or "" if none. Pointers stop the search: sharing a lock via pointer is the
-// correct shape.
+// correct shape. Besides the sync package's primitives, any named type with
+// niladic pointer-receiver Lock and Unlock methods counts — the go vet
+// noCopy-sentinel convention, which trace.Dataset and trace.SegStore embed
+// to mark that copying them detaches the columnar memo or the segment state.
 func lockPath(t types.Type) string {
 	switch u := t.Underlying().(type) {
 	case *types.Struct:
@@ -93,6 +96,9 @@ func lockPath(t types.Type) string {
 					return "sync." + obj.Name()
 				}
 			}
+			if isNoCopySentinel(named) {
+				return obj.Name() + " (Lock/Unlock no-copy sentinel)"
+			}
 		}
 		for i := 0; i < u.NumFields(); i++ {
 			if lp := lockPath(u.Field(i).Type()); lp != "" {
@@ -103,6 +109,27 @@ func lockPath(t types.Type) string {
 		return lockPath(u.Elem())
 	}
 	return ""
+}
+
+// isNoCopySentinel reports whether named carries the vet noCopy convention:
+// parameterless, resultless Lock and Unlock methods. Such a type exists only
+// to make its container an implicit sync.Locker so copy checks flag it.
+func isNoCopySentinel(named *types.Named) bool {
+	var hasLock, hasUnlock bool
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		sig, ok := m.Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 0 {
+			continue
+		}
+		switch m.Name() {
+		case "Lock":
+			hasLock = true
+		case "Unlock":
+			hasUnlock = true
+		}
+	}
+	return hasLock && hasUnlock
 }
 
 // LostCancel flags context cancel functions that are dropped: assigned to

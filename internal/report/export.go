@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 
 	"repro/internal/core"
@@ -167,13 +168,32 @@ func exportFig8(w io.Writer, r *core.Report) error {
 			return err
 		}
 	}
-	for pair, frac := range r.Bottlenecks.PairFrac {
-		if err := cw.Write([]string{pair[0].String() + "+" + pair[1].String(), fmtG(frac)}); err != nil {
+	// CSV rows land in call order; walk the pair map sorted or the exported
+	// figure shuffles between runs.
+	for _, pair := range sortedPairKeys(r.Bottlenecks.PairFrac) {
+		if err := cw.Write([]string{pair[0].String() + "+" + pair[1].String(), fmtG(r.Bottlenecks.PairFrac[pair])}); err != nil {
 			return err
 		}
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// sortedPairKeys returns the keys of a metric-pair map ordered by first then
+// second metric — the deterministic row order for Fig. 8b in both the text
+// and CSV renders.
+func sortedPairKeys(m map[[2]metrics.Metric]float64) [][2]metrics.Metric {
+	pairs := make([][2]metrics.Metric, 0, len(m))
+	for pair := range m {
+		pairs = append(pairs, pair)
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a][0] != pairs[b][0] {
+			return pairs[a][0] < pairs[b][0]
+		}
+		return pairs[a][1] < pairs[b][1]
+	})
+	return pairs
 }
 
 func exportFig9a(w io.Writer, r *core.Report) error {

@@ -126,8 +126,10 @@ func renderFig7and8(w io.Writer, r *core.Report) error {
 		return err
 	}
 	t2 := NewTable("Fig 8b: pairwise bottlenecks", "pair", "job fraction")
-	for pair, frac := range r.Bottlenecks.PairFrac {
-		t2.AddRowF(pair[0].String()+"+"+pair[1].String(), Pct(frac))
+	// Rows stream into the table, so the map must be walked in sorted key
+	// order — a bare range would shuffle the figure between runs.
+	for _, pair := range sortedPairKeys(r.Bottlenecks.PairFrac) {
+		t2.AddRowF(pair[0].String()+"+"+pair[1].String(), Pct(r.Bottlenecks.PairFrac[pair]))
 	}
 	t2.AddRowF("any two or more", Pct(r.Bottlenecks.AnyTwoFrac))
 	return t2.Render(w)

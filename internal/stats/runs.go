@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// RunsView answers order-statistic queries over the multiset union of a
+// small number of ascending, NaN-free runs WITHOUT materializing the merged
+// slice. This is the live-query engine of the segmented store: a snapshot
+// column holds two cached runs (the merged sealed prefix and the sorted
+// tail), and a dashboard query needs a handful of quantiles and threshold
+// fractions from their union. Merging first costs O(n) time and memory per
+// query; selecting across the runs costs O(log n) per statistic.
+//
+// Every method returns a value bit-identical to calling the corresponding
+// single-slice helper (QuantileSorted, FractionBelowSorted, ECDF.Points, …)
+// on the fully merged slice: a selection at rank k yields the k-th smallest
+// VALUE of the union, which is tie-insensitive, and the interpolation
+// arithmetic is copied verbatim from the single-slice implementations.
+type RunsView struct {
+	a, b []float64 // ascending NaN-free runs; b may be empty
+	n    int
+}
+
+// NewRunsView builds a view over ascending NaN-free runs. Empty runs are
+// dropped; more than two non-empty runs are folded down by merging, so the
+// selection fast path always sees at most two.
+func NewRunsView(runs ...[]float64) *RunsView {
+	live := make([][]float64, 0, len(runs))
+	for _, r := range runs {
+		if len(r) > 0 {
+			live = append(live, r)
+		}
+	}
+	v := &RunsView{}
+	switch len(live) {
+	case 0:
+	case 1:
+		v.a = live[0]
+	case 2:
+		v.a, v.b = live[0], live[1]
+	default:
+		// Rare fallback: fold everything past the first run into one merged
+		// second run. Callers in the hot path always pass one or two.
+		n := 0
+		for _, r := range live[1:] {
+			n += len(r)
+		}
+		m := make([]float64, 0, n)
+		for _, r := range live[1:] {
+			m = append(m, r...)
+		}
+		sort.Float64s(m)
+		v.a, v.b = live[0], m
+	}
+	v.n = len(v.a) + len(v.b)
+	return v
+}
+
+// N returns the number of observations in the union.
+func (v *RunsView) N() int { return v.n }
+
+// Min returns the smallest observation, or NaN when empty.
+func (v *RunsView) Min() float64 {
+	switch {
+	case v.n == 0:
+		return math.NaN()
+	case len(v.b) == 0:
+		return v.a[0]
+	case len(v.a) == 0:
+		return v.b[0]
+	}
+	return math.Min(v.a[0], v.b[0])
+}
+
+// Max returns the largest observation, or NaN when empty.
+func (v *RunsView) Max() float64 {
+	switch {
+	case v.n == 0:
+		return math.NaN()
+	case len(v.b) == 0:
+		return v.a[len(v.a)-1]
+	case len(v.a) == 0:
+		return v.b[len(v.b)-1]
+	}
+	return math.Max(v.a[len(v.a)-1], v.b[len(v.b)-1])
+}
+
+// AtRank returns the k-th smallest observation (0-based) of the union — the
+// value merged[k] would hold. It panics if k is out of range, matching a
+// slice index.
+func (v *RunsView) AtRank(k int) float64 {
+	if k < 0 || k >= v.n {
+		panic("stats: RunsView rank out of range")
+	}
+	if len(v.b) == 0 {
+		return v.a[k]
+	}
+	if len(v.a) == 0 {
+		return v.b[k]
+	}
+	return kthOfTwo(v.a, v.b, k)
+}
+
+// kthOfTwo selects the k-th smallest (0-based) of the union of two ascending
+// runs by binary-searching the partition point: i elements from a and
+// j = k+1-i from b form the k+1 smallest iff neither prefix's last element
+// exceeds the other suffix's first. Ties make several partitions valid, but
+// all yield the same value. O(log(len(a))).
+func kthOfTwo(a, b []float64, k int) float64 {
+	lo, hi := k+1-len(b), k+1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(a) {
+		hi = len(a)
+	}
+	for {
+		i := int(uint(lo+hi) >> 1)
+		j := k + 1 - i
+		switch {
+		case i > 0 && j < len(b) && a[i-1] > b[j]:
+			hi = i - 1 // a contributes too many
+		case j > 0 && i < len(a) && b[j-1] > a[i]:
+			lo = i + 1 // a contributes too few
+		case i == 0:
+			return b[j-1]
+		case j == 0:
+			return a[i-1]
+		default:
+			return math.Max(a[i-1], b[j-1])
+		}
+	}
+}
+
+// Quantile returns the linear-interpolated p-quantile, bit-identical to
+// QuantileSorted over the merged slice (the arithmetic mirrors
+// quantileSorted exactly).
+func (v *RunsView) Quantile(p float64) float64 {
+	if v.n == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return v.AtRank(0)
+	}
+	if p >= 1 {
+		return v.AtRank(v.n - 1)
+	}
+	pos := p * float64(v.n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return v.AtRank(lo)
+	}
+	frac := pos - float64(lo)
+	return v.AtRank(lo)*(1-frac) + v.AtRank(hi)*frac
+}
+
+// FractionBelow returns the fraction of observations strictly below
+// threshold, bit-identical to FractionBelowSorted over the merged slice.
+func (v *RunsView) FractionBelow(threshold float64) float64 {
+	if v.n == 0 {
+		return math.NaN()
+	}
+	i := sort.SearchFloat64s(v.a, threshold) + sort.SearchFloat64s(v.b, threshold)
+	return float64(i) / float64(v.n)
+}
+
+// FractionAbove returns the fraction of observations strictly above
+// threshold, bit-identical to FractionAboveSorted over the merged slice.
+func (v *RunsView) FractionAbove(threshold float64) float64 {
+	if v.n == 0 {
+		return math.NaN()
+	}
+	i := sort.Search(len(v.a), func(i int) bool { return v.a[i] > threshold }) +
+		sort.Search(len(v.b), func(i int) bool { return v.b[i] > threshold })
+	return float64(v.n-i) / float64(v.n)
+}
+
+// Points returns up to maxPoints evenly spaced (by rank) CDF vertices,
+// bit-identical to ECDF.Points over the merged slice.
+func (v *RunsView) Points(maxPoints int) []Point {
+	if v.n == 0 {
+		return nil
+	}
+	stride := 1
+	if maxPoints > 0 && v.n > maxPoints {
+		stride = (v.n + maxPoints - 1) / maxPoints
+	}
+	var pts []Point
+	for i := 0; i < v.n; i += stride {
+		pts = append(pts, Point{X: v.AtRank(i), F: float64(i+1) / float64(v.n)})
+	}
+	if last := v.AtRank(v.n - 1); len(pts) == 0 || pts[len(pts)-1].X != last {
+		pts = append(pts, Point{X: last, F: 1})
+	}
+	return pts
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/stats"
 )
 
 // FloatColumn is one typed column of the analysis dataset: the values in
@@ -20,10 +21,42 @@ type FloatColumn struct {
 
 	once   sync.Once
 	sorted []float64
+
+	// runsFn, when set, produces the ascending NaN-free sorted RUNS whose
+	// union is the column's multiset — the segmented store injects the
+	// cached sealed-prefix run plus the sorted tail here, so a snapshot
+	// never re-sorts sealed data. Sorted() merges the runs on first use;
+	// Stats() answers quantile/fraction queries by selection across them
+	// without ever materializing the merge (the live-query hot path).
+	// Guarded by its own Once so both accessors share one materialization.
+	runsOnce sync.Once
+	runs     [][]float64
+	runsFn   func() [][]float64
 }
 
 // NewFloatColumn wraps vals (adopted, not copied) as a column.
 func NewFloatColumn(vals []float64) *FloatColumn { return &FloatColumn{vals: vals} }
+
+// newMergeSortedColumn wraps vals (adopted, not copied) as a column whose
+// sorted view is the merge of the runs produced by runsFn on first use, in
+// place of the default sort. Used by SegStore snapshots to stitch
+// per-segment sorted runs; runsFn must return ascending NaN-free runs whose
+// union is exactly the multiset the default path would produce.
+func newMergeSortedColumn(vals []float64, runsFn func() [][]float64) *FloatColumn {
+	return &FloatColumn{vals: vals, runsFn: runsFn}
+}
+
+// sortedRuns materializes (once) the column's sorted-run decomposition, or
+// nil for a plain column.
+func (c *FloatColumn) sortedRuns() [][]float64 {
+	c.runsOnce.Do(func() {
+		if c.runsFn != nil {
+			c.runs = c.runsFn()
+			c.runsFn = nil // free the closure chain
+		}
+	})
+	return c.runs
+}
 
 // Values returns the column in dataset order. Callers must not mutate it.
 func (c *FloatColumn) Values() []float64 {
@@ -50,6 +83,14 @@ func (c *FloatColumn) Sorted() []float64 {
 		return nil
 	}
 	c.once.Do(func() {
+		if runs := c.sortedRuns(); runs != nil {
+			n := 0
+			for _, r := range runs {
+				n += len(r)
+			}
+			c.sorted = mergeSortedRuns(runs, n)
+			return
+		}
 		s := make([]float64, 0, len(c.vals))
 		for _, v := range c.vals {
 			if !math.IsNaN(v) {
@@ -60,6 +101,23 @@ func (c *FloatColumn) Sorted() []float64 {
 		c.sorted = s
 	})
 	return c.sorted
+}
+
+// Stats returns an order-statistics view of the column: quantiles, threshold
+// fractions, and CDF vertices, each bit-identical to computing the same
+// statistic over Sorted(). For a plain column the view wraps the cached
+// sorted slice; for a segmented-snapshot column it wraps the cached sorted
+// RUNS (sealed prefix + tail) and answers by selection, so a live query
+// never pays the O(n) merge that Sorted() would materialize. This is the
+// read path behind core.StreamQuery and the streaming-ingest benchmark.
+func (c *FloatColumn) Stats() *stats.RunsView {
+	if c == nil {
+		return stats.NewRunsView()
+	}
+	if runs := c.sortedRuns(); runs != nil {
+		return stats.NewRunsView(runs...)
+	}
+	return stats.NewRunsView(c.Sorted())
 }
 
 // SizeClass maps a GPU count onto the paper's §V job-size classes:

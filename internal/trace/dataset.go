@@ -8,13 +8,25 @@ import (
 	"repro/internal/metrics"
 )
 
+// noCopy is the standard vet copylocks sentinel: embedding it makes
+// `go vet` (and simlint's copylocks pass) flag any by-value copy of the
+// enclosing struct. It has Lock/Unlock so the copylocks analyzer treats it
+// as a lock type; the methods do nothing.
+type noCopy struct{}
+
+func (*noCopy) Lock()   {}
+func (*noCopy) Unlock() {}
+
 // Dataset is the joined study dataset: every job record, plus the detailed
 // time-series subset keyed by job ID. It corresponds to the paper's "single
 // dataset" built by combining Slurm logs and nvidia-smi profiles on job IDs.
-// A Dataset must not be copied by value once Columns has been called (the
-// memo holds a mutex); pass *Dataset, or build a fresh value via a composite
-// literal sharing Jobs/Series.
+// A Dataset must not be copied by value: the columnar memo holds a mutex
+// and aliases d.Jobs element pointers, so a copy would race and dangle.
+// Pass *Dataset, or build a fresh value via a composite literal sharing
+// Jobs/Series. The noCopy field makes go vet and simlint flag violations.
 type Dataset struct {
+	noCopy noCopy
+
 	Jobs   []JobRecord
 	Series map[int64]*TimeSeries
 	// DurationDays is the trace's observation window (the paper's is 125).
