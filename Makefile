@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test short race race-sched race-analyze race-fault race-stream fuzz bench bench-pr3 bench-fault bench-pr6 bench-pr7 bench-pr8 bench-figures alloc-guard golden clean
+.PHONY: check build vet lint test short race race-sched race-analyze race-fault race-stream race-durable chaos fuzz bench bench-pr3 bench-fault bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-figures alloc-guard golden clean
 
-check: lint build alloc-guard race-sched race-analyze race-fault race-stream race
+check: lint build alloc-guard race-sched race-analyze race-fault race-stream race-durable chaos race
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,24 @@ race-stream:
 	$(GO) test -race -run 'TestSegStoreConcurrent|TestRunStream' ./internal/trace ./internal/engine
 	$(GO) test -race -run 'TestServerConcurrentIngestQuery' ./cmd/simcloudd
 
+# Durability race pass (PR 9): the WAL/snapshot store's chaos kill matrix,
+# recovery round trips and the retrying client's backoff machinery under the
+# race detector, plus simcloudd's idempotent-ingest and restart-recovery
+# HTTP tests.
+race-durable:
+	$(GO) test -race ./internal/durable/...
+	$(GO) test -race -run 'TestServerRestartRecovers|TestServerIdempotentIngest|TestServerBackpressure' ./cmd/simcloudd
+
+# Crash-recovery acceptance harness (PR 9): a real simcloudd subprocess is
+# killed at 50+ randomized points — torn WAL writes at arbitrary byte
+# offsets, deaths between commit and apply, deaths inside snapshot
+# writes, raw SIGKILLs — while an idempotent client feeds batches through
+# blind retries. The recovered server's /v1/summary and /v1/figures must be
+# byte-identical to an uninterrupted server fed the same batches.
+# Vary the schedule with SIMCLOUDD_CHAOS_SEED=<n>.
+chaos:
+	SIMCLOUDD_CHAOS_KILLS=50 $(GO) test -count=1 -run TestChaosKillRecovery -v -timeout 30m ./cmd/simcloudd
+
 # Short fuzz session over every trace codec target, plus the calendar event
 # queue cross-checked against the heap spec (PR 6) and the P² quantile
 # estimator's invariants under arbitrary small/tied samples (PR 7).
@@ -73,6 +91,7 @@ fuzz:
 	$(GO) test ./internal/trace -fuzz FuzzDatasetRoundTrip -fuzztime 30s
 	$(GO) test ./internal/slurm -fuzz FuzzCalQueue -fuzztime 30s
 	$(GO) test ./internal/predict -fuzz FuzzP2Quantile -fuzztime 30s
+	$(GO) test ./internal/durable -fuzz FuzzWALRecord -fuzztime 30s
 
 # Scheduler-scaling benchmarks (PR 2): the Schedule/Simulate/Replicate trio
 # at 10k/100k/500k jobs, one timed run each, joined against the committed
@@ -133,6 +152,17 @@ bench-pr8:
 		-benchtime 1x -timeout 2h . | tee bench/last_run_pr8.txt
 	$(GO) run ./cmd/benchjson -label post-segstore \
 		-baseline bench/baseline_pr8.json < bench/last_run_pr8.txt > BENCH_PR8.json
+
+# Durability benchmarks (PR 9): BenchmarkDurableIngest prices crash safety
+# on the ingest path (wal=off / wal=sync / raw in-memory; the acceptance bar
+# is wal=sync within 1.5x of wal=off), BenchmarkDurableRecover times a cold
+# Open from a pure WAL replay vs. a fresh snapshot, and the PR 8 streaming
+# rows re-run to guard the in-process path against bench/baseline_pr8.json.
+bench-pr9:
+	$(GO) test -run '^$$' -bench '^Benchmark(DurableIngest|DurableRecover|StreamingIngest)$$' \
+		-benchtime 1x -timeout 2h . | tee bench/last_run_pr9.txt
+	$(GO) run ./cmd/benchjson -label post-durability \
+		-baseline bench/baseline_pr8.json < bench/last_run_pr9.txt > BENCH_PR9.json
 
 # Allocation-count guards (PR 6, part of `make check`): the calendar queue's
 # steady-state zero-allocation property and the end-to-end per-job allocation

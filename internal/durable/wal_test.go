@@ -1,0 +1,269 @@
+package durable
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// appendTestWAL writes records 0..n-1 (payload "payload-<i>") into dir and
+// returns the expected payloads.
+func appendTestWAL(t *testing.T, dir string, n int, rotateBytes int64) [][]byte {
+	t.Helper()
+	w, err := openWALForAppend(dir, "", 0, 0, Chain{}, true, rotateBytes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payloads [][]byte
+	for i := 0; i < n; i++ {
+		p := []byte(fmt.Sprintf("payload-%03d", i))
+		if _, err := w.Append(KindBatch, p); err != nil {
+			t.Fatal(err)
+		}
+		payloads = append(payloads, p)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return payloads
+}
+
+func collectReplay(t *testing.T, dir string, fromSeq uint64, fromChain Chain) ([]Record, walState) {
+	t.Helper()
+	var recs []Record
+	st, err := replayWAL(dir, fromSeq, fromChain, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs, st
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	var chain Chain
+	var buf []byte
+	payloads := [][]byte{[]byte("a"), {}, bytes.Repeat([]byte{0xAB}, 3000)}
+	for i, p := range payloads {
+		next := chain.Next(KindBatch, uint64(i), p)
+		buf = AppendRecord(buf, KindBatch, uint64(i), next, p)
+		chain = next
+	}
+	chain = Chain{}
+	off := 0
+	for i, p := range payloads {
+		rec, n, err := DecodeRecord(buf[off:])
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if rec.Seq != uint64(i) || rec.Kind != KindBatch || !bytes.Equal(rec.Payload, p) {
+			t.Fatalf("record %d decoded wrong: %+v", i, rec)
+		}
+		if want := chain.Next(rec.Kind, rec.Seq, rec.Payload); want != rec.Chain {
+			t.Fatalf("record %d: chain mismatch", i)
+		}
+		chain = rec.Chain
+		off += n
+	}
+	if off != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", off, len(buf))
+	}
+}
+
+// TestDecodeRecordNeverAcceptsCorruption flips every byte of a valid frame
+// one at a time; each corruption must be rejected (a flip in the length
+// field may instead report truncation, which is equally a rejection).
+func TestDecodeRecordNeverAcceptsCorruption(t *testing.T) {
+	var chain Chain
+	p := []byte("the payload under test")
+	frame := AppendRecord(nil, KindBatch, 5, chain.Next(KindBatch, 5, p), p)
+	for i := range frame {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), frame...)
+			mut[i] ^= 1 << bit
+			if _, _, err := DecodeRecord(mut); err == nil {
+				t.Fatalf("flip byte %d bit %d: corruption accepted", i, bit)
+			}
+		}
+	}
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, err := DecodeRecord(frame[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// TestWALTornTailEveryOffset is the truncation matrix: a WAL cut at EVERY
+// byte offset must recover exactly the records whose frames are complete,
+// and the log must accept appends from that point on.
+func TestWALTornTailEveryOffset(t *testing.T) {
+	master := t.TempDir()
+	payloads := appendTestWAL(t, master, 5, 0)
+	name := walFileName(0)
+	data, err := os.ReadFile(filepath.Join(master, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Frame boundaries, to predict how many records survive each cut.
+	bounds := []int{headerSize}
+	off := headerSize
+	for off < len(data) {
+		_, n, err := DecodeRecord(data[off:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		off += n
+		bounds = append(bounds, off)
+	}
+
+	for cut := headerSize; cut <= len(data); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, name), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		wantRecs := 0
+		for _, b := range bounds[1:] {
+			if b <= cut {
+				wantRecs++
+			}
+		}
+		recs, st := collectReplay(t, dir, 0, Chain{})
+		if len(recs) != wantRecs {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(recs), wantRecs)
+		}
+		for i, r := range recs {
+			if !bytes.Equal(r.Payload, payloads[i]) {
+				t.Fatalf("cut %d: record %d payload mismatch", cut, i)
+			}
+		}
+		if st.validBytes != int64(bounds[wantRecs]) {
+			t.Fatalf("cut %d: validBytes %d, want %d", cut, st.validBytes, bounds[wantRecs])
+		}
+		// The log must keep working after truncating the torn suffix.
+		w, err := openWALForAppend(dir, st.tail, st.validBytes, st.nextSeq, st.chain, true, 0, nil)
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if _, err := w.Append(KindSeal, nil); err != nil {
+			t.Fatalf("cut %d: append after reopen: %v", cut, err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		recs, _ = collectReplay(t, dir, 0, Chain{})
+		if len(recs) != wantRecs+1 || recs[len(recs)-1].Kind != KindSeal {
+			t.Fatalf("cut %d: post-reopen replay got %d records", cut, len(recs))
+		}
+	}
+}
+
+// TestWALRotationAndReplay pins that rotation produces independently
+// verifiable files that replay seamlessly across boundaries.
+func TestWALRotationAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	payloads := appendTestWAL(t, dir, 40, 256) // tiny threshold: many files
+	files, err := listWALFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("rotation produced %d files, want several", len(files))
+	}
+	recs, st := collectReplay(t, dir, 0, Chain{})
+	if len(recs) != len(payloads) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(payloads))
+	}
+	if st.nextSeq != uint64(len(payloads)) {
+		t.Fatalf("nextSeq %d, want %d", st.nextSeq, len(payloads))
+	}
+	// Replay from a mid-log snapshot point: only the suffix applies.
+	mid := recs[17]
+	suffix, _ := collectReplay(t, dir, mid.Seq+1, mid.Chain)
+	if len(suffix) != len(payloads)-18 {
+		t.Fatalf("suffix replay got %d records, want %d", len(suffix), len(payloads)-18)
+	}
+	if suffix[0].Seq != 18 {
+		t.Fatalf("suffix starts at seq %d, want 18", suffix[0].Seq)
+	}
+}
+
+// TestWALTamperIsHardError: corruption anywhere but the tail must fail
+// recovery loudly — those records were acked.
+func TestWALTamperIsHardError(t *testing.T) {
+	dir := t.TempDir()
+	appendTestWAL(t, dir, 40, 256)
+	files, err := listWALFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("want several files, got %d", len(files))
+	}
+	victim := filepath.Join(dir, files[1]) // a middle file
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize+recHdrSize] ^= 0x40 // flip a payload bit in its first record
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replayWAL(dir, 0, Chain{}, func(Record) error { return nil }); err == nil {
+		t.Fatal("replay accepted a corrupt non-tail file")
+	}
+}
+
+// TestWALSnapshotChainMismatch: a snapshot whose chain disagrees with the
+// WAL at its coverage point must be rejected, not silently trusted.
+func TestWALSnapshotChainMismatch(t *testing.T) {
+	dir := t.TempDir()
+	appendTestWAL(t, dir, 10, 0)
+	recs, _ := collectReplay(t, dir, 0, Chain{})
+	bogus := recs[4].Chain
+	bogus[0] ^= 0xFF
+	if _, err := replayWAL(dir, 5, bogus, func(Record) error { return nil }); err == nil {
+		t.Fatal("replay accepted a snapshot chain that does not match the WAL")
+	}
+}
+
+// TestWALHeaderlessLeftover: a crash between file create and header write
+// leaves a short final file; recovery must drop it and resume cleanly.
+func TestWALHeaderlessLeftover(t *testing.T) {
+	dir := t.TempDir()
+	appendTestWAL(t, dir, 5, 0)
+	_, st := collectReplay(t, dir, 0, Chain{})
+	for _, junk := range [][]byte{nil, []byte("SCW")} {
+		leftover := filepath.Join(dir, walFileName(st.nextSeq))
+		if err := os.WriteFile(leftover, junk, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, st2 := collectReplay(t, dir, 0, Chain{})
+		if len(recs) != 5 || st2.nextSeq != st.nextSeq {
+			t.Fatalf("headerless leftover changed replay: %d records, nextSeq %d", len(recs), st2.nextSeq)
+		}
+		if _, err := os.Stat(leftover); !os.IsNotExist(err) {
+			t.Fatal("headerless leftover not removed")
+		}
+	}
+}
+
+// TestWALGapIsHardError: a missing oldest file (records acked, then lost)
+// must fail recovery.
+func TestWALGapIsHardError(t *testing.T) {
+	dir := t.TempDir()
+	appendTestWAL(t, dir, 40, 256)
+	files, err := listWALFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, files[0])); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replayWAL(dir, 0, Chain{}, func(Record) error { return nil }); err == nil {
+		t.Fatal("replay accepted a WAL with its oldest file missing")
+	}
+}

@@ -27,21 +27,52 @@ func StreamJobID(rep int, id int64) int64 {
 	return (int64(rep)+1)<<repIDBits | id
 }
 
+// StreamSink receives each completed replication's dataset — job IDs
+// already namespaced via StreamJobID — in replication-index order. A local
+// trace.SegStore satisfies it through SegStoreSink; the durable ingest
+// client satisfies it directly, which is how a simulation streams its
+// replications into a remote simcloudd with retry and idempotency instead
+// of an in-process store. A sink error aborts the batch: a half-streamed
+// store has no meaningful merged interpretation.
+type StreamSink interface {
+	AppendStreamDataset(ds *trace.Dataset) error
+}
+
+// SegStoreSink adapts a local SegStore to StreamSink. Appends cannot fail.
+type SegStoreSink struct{ Store *trace.SegStore }
+
+// AppendStreamDataset implements StreamSink.
+func (s SegStoreSink) AppendStreamDataset(ds *trace.Dataset) error {
+	s.Store.AppendDataset(ds)
+	return nil
+}
+
 // RunStream executes cfg.Reps replications of fn across the worker pool and
-// streams every completed replication's dataset into store. Completions are
-// flushed in replication-index order (out-of-order finishers park in a
-// pending buffer), so the store's append sequence — and therefore every
-// figure computed from any of its snapshots — is bit-identical for any
-// worker count, extending the engine's determinism guarantee to the
-// streaming path. Job IDs are namespaced per replication via StreamJobID
-// before appending. Unlike Run, a replication failure aborts the batch: a
-// half-streamed store has no meaningful merged interpretation.
+// streams every completed replication's dataset into store. It is
+// RunStreamTo with the store wrapped in SegStoreSink; the determinism
+// contract below applies unchanged.
 func RunStream(ctx context.Context, cfg Config, store *trace.SegStore, fn DatasetReplicator) (*Batch, error) {
+	if store == nil {
+		return nil, fmt.Errorf("engine: RunStream needs a store")
+	}
+	return RunStreamTo(ctx, cfg, SegStoreSink{Store: store}, fn)
+}
+
+// RunStreamTo executes cfg.Reps replications of fn across the worker pool
+// and streams every completed replication's dataset into sink. Completions
+// are flushed in replication-index order (out-of-order finishers park in a
+// pending buffer), so the sink's append sequence — and therefore every
+// figure computed from any resulting store snapshot — is bit-identical for
+// any worker count, extending the engine's determinism guarantee to the
+// streaming path. Job IDs are namespaced per replication via StreamJobID
+// before flushing. Unlike Run, a replication failure (or sink failure)
+// aborts the batch.
+func RunStreamTo(ctx context.Context, cfg Config, sink StreamSink, fn DatasetReplicator) (*Batch, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if store == nil {
-		return nil, fmt.Errorf("engine: RunStream needs a store")
+	if sink == nil {
+		return nil, fmt.Errorf("engine: RunStreamTo needs a sink")
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -61,23 +92,29 @@ func RunStream(ctx context.Context, cfg Config, store *trace.SegStore, fn Datase
 
 	// pending parks completed datasets until every lower replication has
 	// been flushed; whichever worker completes a replication drains the
-	// ready prefix, so flushing needs no dedicated goroutine.
+	// ready prefix, so flushing needs no dedicated goroutine. A sink error
+	// latches: nothing further is flushed, preserving the prefix property
+	// (everything the sink received is replications 0..k in order).
 	var (
 		flushMu sync.Mutex
 		pending = make(map[int]*trace.Dataset, workers)
 		next    int
+		sinkErr error
 	)
 	flush := func(rep int, ds *trace.Dataset) {
 		flushMu.Lock()
 		defer flushMu.Unlock()
 		pending[rep] = ds
-		for {
+		for sinkErr == nil {
 			d, ok := pending[next]
 			if !ok {
 				return
 			}
 			delete(pending, next)
-			appendNamespaced(store, next, d)
+			if err := sink.AppendStreamDataset(namespacedDataset(next, d)); err != nil {
+				sinkErr = fmt.Errorf("engine: streaming replication %d: %w", next, err)
+				return
+			}
 			next++
 		}
 	}
@@ -120,6 +157,9 @@ dispatch:
 			batch.Results[i].Err = ctx.Err()
 		}
 	}
+	if sinkErr != nil {
+		return batch, sinkErr
+	}
 	if err := batch.FirstErr(); err != nil {
 		return batch, err
 	}
@@ -134,21 +174,26 @@ dispatch:
 	return batch, nil
 }
 
-// appendNamespaced streams ds into store with rep-namespaced job IDs.
-// Records append in dataset order; each retained series is re-keyed and
-// attached after its job.
-func appendNamespaced(store *trace.SegStore, rep int, ds *trace.Dataset) {
+// namespacedDataset rebuilds ds with rep-namespaced job IDs: records in
+// dataset order, each retained series re-keyed to its job's new ID. The
+// result appends into a SegStore with exactly the final state of the old
+// per-job streaming path (seals fire at the same job counts; series land
+// under the same keys), and as one batch it is also one idempotent ingest
+// request on the remote path.
+func namespacedDataset(rep int, ds *trace.Dataset) *trace.Dataset {
+	out := trace.NewDataset(ds.DurationDays)
 	for i := range ds.Jobs {
 		j := ds.Jobs[i]
 		oldID := j.JobID
 		j.JobID = StreamJobID(rep, oldID)
-		store.Append(j)
+		out.Add(j)
 		if ts := ds.Series[oldID]; ts != nil {
 			keyed := *ts
 			keyed.JobID = j.JobID
-			store.AttachSeries(&keyed)
+			out.AttachSeries(&keyed)
 		}
 	}
+	return out
 }
 
 // runOneDS invokes the dataset replicator behind the panic barrier.

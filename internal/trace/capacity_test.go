@@ -1,0 +1,73 @@
+package trace_test
+
+// Regression test for the -max-jobs admission TOCTOU: the original simcloudd
+// checked Len()+len(batch) against the bound and then appended in a second
+// store call, so two concurrent batches could both pass the check and
+// jointly overshoot. AppendDatasetMax makes reserve-then-append one critical
+// section; under heavy contention the stored-job count must never exceed the
+// bound and every rejection must be a *CapacityError.
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestAppendDatasetMaxConcurrent(t *testing.T) {
+	const (
+		maxJobs   = 1000
+		writers   = 8
+		batchSize = 60
+		batches   = 10 // 8*10*60 = 4800 offered >> 1000 allowed
+	)
+	st := trace.NewSegStore(trace.SegConfig{DurationDays: 1, SegmentJobs: 128})
+	var accepted, rejected atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				ds := trace.NewDataset(1)
+				for k := 0; k < batchSize; k++ {
+					ds.Add(trace.JobRecord{
+						JobID:  int64(w)<<32 | int64(b)<<16 | int64(k),
+						User:   w,
+						Cores:  1,
+						RunSec: 60,
+					})
+				}
+				err := st.AppendDatasetMax(ds, maxJobs)
+				if err == nil {
+					accepted.Add(batchSize)
+					continue
+				}
+				var ce *trace.CapacityError
+				if !errors.As(err, &ce) {
+					t.Errorf("rejection is %T (%v), want *CapacityError", err, err)
+					return
+				}
+				rejected.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := st.Len(); got > maxJobs {
+		t.Fatalf("store holds %d jobs, bound is %d — admission raced", got, maxJobs)
+	}
+	if got := st.Len(); int64(got) != accepted.Load() {
+		t.Fatalf("store holds %d jobs but %d were acked", got, accepted.Load())
+	}
+	if rejected.Load() == 0 {
+		t.Fatal("no batch was ever rejected; the test did not contend the bound")
+	}
+	// The bound must be reachable, not just respected: offered load far
+	// exceeded it, so admission should have filled most of it.
+	if got := st.Len(); got < maxJobs-batchSize {
+		t.Fatalf("store holds %d jobs; admission under-filled the %d bound", got, maxJobs)
+	}
+}

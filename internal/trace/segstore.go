@@ -255,8 +255,36 @@ func (st *SegStore) AppendBatch(jobs []JobRecord) {
 
 // AppendDataset streams a whole dataset's jobs and series into the store.
 func (st *SegStore) AppendDataset(ds *Dataset) {
+	// Unbounded append cannot fail; the error is structurally impossible.
+	if err := st.AppendDatasetMax(ds, 0); err != nil {
+		panic(err)
+	}
+}
+
+// CapacityError reports an ingest batch rejected because it would push the
+// store past a job bound. The admission check and the append happen under
+// one lock acquisition, so concurrent batches cannot both pass the check
+// and jointly overshoot the bound.
+type CapacityError struct {
+	Stored, Batch, Max int
+}
+
+func (e *CapacityError) Error() string {
+	return fmt.Sprintf("trace: store at %d jobs, batch of %d exceeds bound %d",
+		e.Stored, e.Batch, e.Max)
+}
+
+// AppendDatasetMax is AppendDataset with an atomic admission bound: when
+// maxJobs is positive and the batch would push the stored-job count past it,
+// nothing is appended and a *CapacityError is returned. Reserve-then-append
+// is a single critical section — the check cannot race another batch's
+// append (the -max-jobs TOCTOU simcloudd shipped with).
+func (st *SegStore) AppendDatasetMax(ds *Dataset, maxJobs int) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if maxJobs > 0 && st.nJobs+len(ds.Jobs) > maxJobs {
+		return &CapacityError{Stored: st.nJobs, Batch: len(ds.Jobs), Max: maxJobs}
+	}
 	for i := range ds.Jobs {
 		st.appendLocked(ds.Jobs[i])
 		st.maybeSealLocked()
@@ -266,6 +294,7 @@ func (st *SegStore) AppendDataset(ds *Dataset) {
 	}
 	st.gen++
 	st.snap = nil
+	return nil
 }
 
 // AttachSeries stores the detailed time series of a job.
@@ -382,7 +411,19 @@ func (st *SegStore) sealLocked() {
 	if st.nJobs == st.tailJob {
 		return
 	}
-	seg := &segment{startJob: st.tailJob, endJob: st.nJobs, agg: st.tailAgg}
+	st.sealSegmentLocked(st.tailAgg)
+	if st.cfg.MaxSegments > 0 && len(st.sealed) > st.cfg.MaxSegments {
+		st.compactLocked()
+	}
+}
+
+// sealSegmentLocked freezes the tail into a segment carrying agg as its
+// digest. The live path passes the accumulated tail digest; snapshot restore
+// passes the recorded one, which may be a Merge-shaped aggregate from a
+// compaction the original store performed (re-folding the jobs would differ
+// in final ulps — the recorded floats are the ground truth).
+func (st *SegStore) sealSegmentLocked(agg SegSummary) {
+	seg := &segment{startJob: st.tailJob, endJob: st.nJobs, agg: agg}
 	for c := 0; c < numSegFs; c++ {
 		seg.off[c] = st.tailOff[c]
 		end := len(st.f[c])
@@ -406,9 +447,6 @@ func (st *SegStore) sealLocked() {
 				return [][]float64{prev.Sorted(), next.Sorted()}
 			})
 		}
-	}
-	if st.cfg.MaxSegments > 0 && len(st.sealed) > st.cfg.MaxSegments {
-		st.compactLocked()
 	}
 }
 
@@ -485,6 +523,17 @@ func (st *SegStore) Segments() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return len(st.sealed)
+}
+
+// TailJobs returns the number of jobs appended since the last seal — the
+// mutable tail the backpressure bound watches. O(1); no view is built.
+func (st *SegStore) TailJobs() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if n := len(st.sealed); n > 0 {
+		return st.nJobs - st.sealed[n-1].endJob
+	}
+	return st.nJobs
 }
 
 // Snapshot returns an immutable view of everything appended so far. The
