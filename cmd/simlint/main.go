@@ -6,12 +6,17 @@
 //
 // Usage:
 //
-//	simlint [-only a,b] [-skip a,b] [-list] [packages...]
+//	simlint [-only a,b] [-skip a,b] [-list] [-json] [packages...]
 //
 // Package arguments are module-relative directories ("./internal/slurm") or
 // "..."-suffixed subtrees; with none given the whole module is checked.
 // Exit status is 1 when findings remain after //lint:allow filtering, 2 on
 // usage or load errors.
+//
+// -json replaces the human-readable lines with a single JSON array of
+// findings on stdout — `[{"file","line","col","analyzer","message"}, …]`,
+// `[]` when clean — for editor and CI integration. Exit codes are
+// unchanged, so `simlint -json ./... || collect` still gates.
 //
 // Suppress a finding by putting, on the flagged line or the line above:
 //
@@ -22,6 +27,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +37,16 @@ import (
 
 	"repro/internal/lint"
 )
+
+// jsonFinding is the machine-readable form of one diagnostic. File is
+// module-relative with forward slashes so output is stable across hosts.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -42,6 +58,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	only := fs.String("only", "", "comma-separated analyzers to run (default: all default-enabled)")
 	skip := fs.String("skip", "", "comma-separated analyzers to disable")
 	list := fs.Bool("list", false, "list registered analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array on stdout")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -81,7 +98,7 @@ func run(args []string, stdout, stderr *os.File) int {
 
 	loader := lint.NewLoader(modRoot, modPath)
 	known := lint.KnownNames()
-	findings := 0
+	findings := []jsonFinding{}
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
@@ -99,12 +116,29 @@ func run(args []string, stdout, stderr *os.File) int {
 			if relErr != nil {
 				rel = pos.Filename
 			}
-			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", rel, pos.Line, pos.Column, d.Analyzer, d.Message)
-			findings++
+			f := jsonFinding{
+				File:     filepath.ToSlash(rel),
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}
+			findings = append(findings, f)
+			if !*asJSON {
+				fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+			}
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(stderr, "simlint: %d finding(s)\n", findings)
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "simlint:", err)
+			return 2
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "simlint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0

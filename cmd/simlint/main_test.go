@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTempModule lays out a throwaway module so the driver under test
+// exercises the same find-module/resolve/load path as a real invocation.
+func writeTempModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		p := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// runCapture invokes run() with stdout/stderr redirected to temp files and
+// returns the exit code plus both streams.
+func runCapture(t *testing.T, args []string) (code int, stdout, stderr string) {
+	t.Helper()
+	capture := func(name string) *os.File {
+		f, err := os.CreateTemp(t.TempDir(), name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	outF, errF := capture("stdout"), capture("stderr")
+	defer outF.Close()
+	defer errF.Close()
+	code = run(args, outF, errF)
+	read := func(f *os.File) string {
+		data, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	return code, read(outF), read(errF)
+}
+
+const dirtyMain = `package main
+
+import "os"
+
+func main() {
+	f, err := os.Create("out.txt")
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	f.WriteString("hi")
+}
+`
+
+func TestJSONOutputRoundTrip(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{
+		"go.mod":  "module tmpmod\n\ngo 1.22\n",
+		"main.go": dirtyMain,
+	})
+	t.Chdir(dir)
+
+	code, stdout, stderr := runCapture(t, []string{"-json", "-only", "deferclose", "./..."})
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (findings present); stderr: %s", code, stderr)
+	}
+
+	var findings []jsonFinding
+	if err := json.Unmarshal([]byte(stdout), &findings); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, stdout)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("want exactly 1 finding, got %d: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "deferclose" || f.File != "main.go" || f.Line == 0 || f.Col == 0 {
+		t.Errorf("unexpected finding: %+v", f)
+	}
+	if !strings.Contains(f.Message, "discards the error") {
+		t.Errorf("message lost in encoding: %q", f.Message)
+	}
+
+	// Round-trip: re-encoding the decoded findings must reproduce stdout
+	// byte for byte, so consumers can parse, filter, and re-emit.
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(findings); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != stdout {
+		t.Errorf("round-trip mismatch:\ngot:  %q\nfrom: %q", buf.String(), stdout)
+	}
+
+	// The human-readable mode must agree on the same finding.
+	code, stdout, _ = runCapture(t, []string{"-only", "deferclose", "./..."})
+	if code != 1 {
+		t.Fatalf("plain mode exit code = %d, want 1", code)
+	}
+	want := "main.go:" // module-relative prefix
+	if !strings.HasPrefix(stdout, want) || !strings.Contains(stdout, "[deferclose]") {
+		t.Errorf("plain output does not match the JSON finding: %q", stdout)
+	}
+}
+
+func TestJSONOutputClean(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"main.go": `package main
+
+func main() {}
+`,
+	})
+	t.Chdir(dir)
+
+	code, stdout, stderr := runCapture(t, []string{"-json", "./..."})
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, stderr)
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal([]byte(stdout), &findings); err != nil {
+		t.Fatalf("clean stdout is not valid JSON: %v\n%s", err, stdout)
+	}
+	if len(findings) != 0 {
+		t.Errorf("clean module must produce an empty array, got %v", findings)
+	}
+	if strings.TrimSpace(stdout) != "[]" {
+		t.Errorf("clean output must be the empty array literal, got %q", stdout)
+	}
+}

@@ -49,7 +49,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
+	// No deferred Close: the error-checked Close below is the only exit
+	// that matters (every earlier exit is log.Fatal), and a deferred
+	// double-Close would discard its error (simlint deferclose).
 	switch {
 	case *asJSON && strings.HasSuffix(*out, ".gz"):
 		err = ds.WriteJSONGZ(f)

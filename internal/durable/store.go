@@ -24,15 +24,17 @@ import (
 // Reads go straight to the SegStore (via Seg) under its own lock; queries
 // never wait on the WAL.
 type Store struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	// seg is written once in Open and read lock-free afterwards (Seg,
+	// Backlog): the pointer never changes and SegStore has its own lock.
 	seg     *trace.SegStore
 	cfg     trace.SegConfig
-	w       *wal
+	w       *wal // guarded by mu
 	dir     string
 	opts    Options
-	applied map[string]Outcome
-	dirty   int // jobs applied since the last snapshot
-	closed  bool
+	applied map[string]Outcome // guarded by mu
+	dirty   int                // guarded by mu; jobs applied since the last snapshot
+	closed  bool               // guarded by mu
 }
 
 // Options configures durability behavior.
@@ -139,7 +141,9 @@ func (s *Store) applyRecord(rec Record) error {
 			return fmt.Errorf("durable: acked batch no longer decodes: %w", err)
 		}
 		s.seg.AppendDataset(ds)
+		//lint:allow lockguard recovery replay runs before the store is published; Open holds exclusive ownership
 		s.applied[id] = Outcome{Seq: rec.Seq, Jobs: len(ds.Jobs)}
+		//lint:allow lockguard recovery replay runs before the store is published; Open holds exclusive ownership
 		s.dirty += len(ds.Jobs)
 	case KindTelemetry:
 		var tr telemetryRecord

@@ -5,8 +5,9 @@ import (
 	"strings"
 )
 
-// All returns every registered analyzer in stable order: the six project
-// invariant checks first, then the vet-family passes, then the opt-in
+// All returns every registered analyzer in stable order: the six
+// syntactic project invariant checks first, then the CFG/dataflow
+// analyzers (PR 10), then the vet-family passes, then the opt-in
 // informational ones.
 func All() []*Analyzer {
 	return []*Analyzer{
@@ -16,6 +17,10 @@ func All() []*Analyzer {
 		FloatAccum,
 		ErrSink,
 		SpecMirror,
+		LockGuard,
+		CommitOrder,
+		HTTPTerm,
+		DeferClose,
 		CopyLocks,
 		LostCancel,
 		NilnessLite,

@@ -1,0 +1,462 @@
+package lint
+
+// commitorder machine-checks PR 9's crash-recovery contract in
+// internal/durable, where the WAL is the commit point:
+//
+//   R1 — append-before-apply: in every exported method of a struct that
+//   owns a WAL (a field whose type has an `Append(...) (uint64, error)`
+//   method), any mutation of applied state — a write to a non-bool
+//   receiver field, or a call to a mutating method on a receiver field —
+//   must be dominated by a WAL Append call whose error is checked by an
+//   `if err != nil` guard that terminates (so no state is applied on a
+//   failed append). Bool fields are exempt: lifecycle latches like
+//   `s.closed = true` are not replayed state.
+//
+//   R2 — fsync-before-rename: anywhere in the package, an os.Rename call
+//   must be dominated by an (*os.File).Sync call, so a crash can never
+//   publish an unfsynced snapshot under its final name.
+//
+// Both rules are dominance queries over the cfg.go graphs: "dominated
+// by" means on *every* path, which is exactly the durability claim the
+// recovery tests rely on.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var CommitOrder = &Analyzer{
+	Name:    "commitorder",
+	Doc:     "internal/durable: state mutations must be dominated by a checked WAL Append; os.Rename by an fsync",
+	Default: true,
+	Run:     runCommitOrder,
+}
+
+// commitMutatorNames are the methods on receiver fields that apply
+// replayable state when called (the trace.SegStore mutation surface plus
+// the WAL-shaped appends themselves when made on a non-WAL field).
+var commitMutatorNames = map[string]bool{
+	"Append": true, "AppendBatch": true, "AppendDataset": true,
+	"AppendDatasetMax": true, "AttachSeries": true, "StageTelemetry": true,
+	"SealTail": true, "Compact": true,
+}
+
+func runCommitOrder(pass *Pass) error {
+	if !pathHasSuffix(pass.Path, "internal/durable") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fi := NewFuncInfo(fd.Body, pass.Info)
+			commitOrderRename(pass, fi, fd)
+			if fd.Recv != nil && ast.IsExported(fd.Name.Name) {
+				commitOrderAppend(pass, fi, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// walAppendCall matches recv.<walField>.Append(...) where the field's
+// type has the WAL shape, returning the selector for reporting.
+type appendSite struct {
+	call *ast.CallExpr
+	blk  *Block
+	idx  int
+	// guard is the location of a dominating terminating `if err != nil`
+	// check of this call's error result; nil if the error is unchecked.
+	guardBlk *Block
+	guardIdx int
+	guarded  bool
+}
+
+func commitOrderAppend(pass *Pass, fi *FuncInfo, fd *ast.FuncDecl) {
+	recvObj := recvVar(pass, fd)
+	if recvObj == nil {
+		return
+	}
+	walFields := walShapedFields(recvObj.Type())
+	if len(walFields) == 0 {
+		return
+	}
+
+	var appends []*appendSite
+	var mutations []struct {
+		pos  token.Pos
+		what string
+		blk  *Block
+		idx  int
+	}
+	addMutation := func(pos token.Pos, what string, n ast.Node) {
+		blk, idx, ok := fi.Locate(n)
+		if !ok || !fi.Reachable(blk) {
+			return
+		}
+		mutations = append(mutations, struct {
+			pos  token.Pos
+			what string
+			blk  *Block
+			idx  int
+		}{pos, what, blk, idx})
+	}
+
+	// recvField returns the field name when e is recv.<field> (possibly
+	// deeper selectors return "").
+	recvField := func(e ast.Expr) string {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return ""
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok || pass.Info.Uses[base] != recvObj {
+			return ""
+		}
+		return sel.Sel.Name
+	}
+	fieldIsBool := func(name string) bool {
+		st, ok := deref(recvObj.Type()).Underlying().(*types.Struct)
+		if !ok {
+			return false
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i).Name() == name {
+				b, isBasic := st.Field(i).Type().Underlying().(*types.Basic)
+				return isBasic && b.Kind() == types.Bool
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			sel, ok := e.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if f := recvField(sel.X); f != "" {
+				if walFields[f] && sel.Sel.Name == "Append" {
+					blk, idx, ok := fi.Locate(e)
+					if ok && fi.Reachable(blk) {
+						appends = append(appends, &appendSite{call: e, blk: blk, idx: idx})
+					}
+					return true
+				}
+				if commitMutatorNames[sel.Sel.Name] {
+					addMutation(e.Pos(), "call to "+f+"."+sel.Sel.Name, e)
+				}
+			}
+			if id, ok := e.Fun.(*ast.Ident); ok {
+				if b, isB := pass.Info.Uses[id].(*types.Builtin); isB && b.Name() == "delete" && len(e.Args) > 0 {
+					if f := recvField(e.Args[0]); f != "" {
+						addMutation(e.Pos(), "delete from "+f, e)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range e.Lhs {
+				root := lhs
+				for {
+					if ix, ok := root.(*ast.IndexExpr); ok {
+						root = ix.X
+						continue
+					}
+					if st, ok := root.(*ast.StarExpr); ok {
+						root = st.X
+						continue
+					}
+					break
+				}
+				if f := recvField(root); f != "" && !walFields[f] && !fieldIsBool(f) {
+					addMutation(lhs.Pos(), "write to "+f, e)
+				}
+			}
+		case *ast.IncDecStmt:
+			root := e.X
+			if ix, ok := root.(*ast.IndexExpr); ok {
+				root = ix.X
+			}
+			if f := recvField(root); f != "" && !fieldIsBool(f) {
+				addMutation(e.Pos(), "update of "+f, e)
+			}
+		}
+		return true
+	})
+
+	if len(mutations) == 0 {
+		return
+	}
+	rd := BuildReachingDefs(fi, fd.Recv, fd.Type)
+	for _, a := range appends {
+		resolveAppendGuard(pass, fi, rd, fd, a)
+	}
+	for _, m := range mutations {
+		var dominatingUnguarded *appendSite
+		ok := false
+		for _, a := range appends {
+			if !fi.StmtDominates(a.blk, a.idx, m.blk, m.idx) {
+				continue
+			}
+			if a.guarded && fi.StmtDominates(a.guardBlk, a.guardIdx, m.blk, m.idx) {
+				ok = true
+				break
+			}
+			dominatingUnguarded = a
+		}
+		if ok {
+			continue
+		}
+		if dominatingUnguarded != nil {
+			pass.Reportf(m.pos, "%s in %s is dominated by a WAL Append whose error is not checked by a terminating `if err != nil` guard before the state is applied", m.what, fd.Name.Name)
+		} else {
+			pass.Reportf(m.pos, "%s in exported method %s is not dominated by a WAL Append: applied state would not be replayable after a crash", m.what, fd.Name.Name)
+		}
+	}
+}
+
+// resolveAppendGuard finds the `if err != nil { …terminate… }` guard for
+// an Append call site: the call must be the RHS of an assignment with an
+// error result, and some if-statement on that error object — reached by
+// *this* assignment's definition, so a guard on an earlier or later
+// reassignment of err does not count — whose then branch always
+// terminates, must exist. Its condition location is recorded so callers
+// can require it to dominate the mutation.
+func resolveAppendGuard(pass *Pass, fi *FuncInfo, rd *ReachingDefs, fd *ast.FuncDecl, a *appendSite) {
+	stmtNode := fi.G.Blocks[a.blk.Index].Stmts[a.idx]
+	as, ok := stmtNode.(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 || as.Rhs[0] != a.call {
+		// Also accept the call nested directly, e.g. `if _, err := w.Append(…); err != nil`
+		ifs, isIf := findInitAssign(stmtNode, a.call)
+		if !isIf {
+			return
+		}
+		as = ifs
+	}
+	var errObj types.Object
+	for _, lhs := range as.Lhs {
+		id, isIdent := lhs.(*ast.Ident)
+		if !isIdent || id.Name == "_" {
+			continue
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj != nil && isErrorType(obj.Type()) {
+			errObj = obj
+		}
+	}
+	if errObj == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if a.guarded {
+			return false
+		}
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if !isErrNotNil(pass, ifs.Cond, errObj) || !alwaysTerminates(ifs.Body.List) {
+			return true
+		}
+		// The error value tested must come from this Append assignment.
+		fromAppend := false
+		for _, def := range rd.At(ifs.Cond, errObj) {
+			if def.Node == as {
+				fromAppend = true
+			}
+		}
+		if !fromAppend {
+			return true
+		}
+		blk, idx, ok := fi.Locate(ifs.Cond)
+		if ok && fi.Reachable(blk) {
+			a.guardBlk, a.guardIdx, a.guarded = blk, idx, true
+		}
+		return true
+	})
+}
+
+// findInitAssign digs the assignment out of an if-init that contains call.
+func findInitAssign(stmtNode ast.Node, call *ast.CallExpr) (*ast.AssignStmt, bool) {
+	as, ok := stmtNode.(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 {
+		return nil, false
+	}
+	found := false
+	ast.Inspect(as.Rhs[0], func(n ast.Node) bool {
+		if n == call {
+			found = true
+		}
+		return !found
+	})
+	return as, found
+}
+
+func isErrNotNil(pass *Pass, cond ast.Expr, errObj types.Object) bool {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op != token.NEQ {
+		return false
+	}
+	matches := func(x, y ast.Expr) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok || pass.Info.Uses[id] != errObj {
+			return false
+		}
+		nid, ok := y.(*ast.Ident)
+		return ok && nid.Name == "nil"
+	}
+	return matches(be.X, be.Y) || matches(be.Y, be.X)
+}
+
+// alwaysTerminates reports whether a statement list cannot fall through:
+// it ends in return, panic, or an if/else whose branches both terminate.
+func alwaysTerminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	case *ast.IfStmt:
+		eb, ok := last.Else.(*ast.BlockStmt)
+		return ok && alwaysTerminates(last.Body.List) && alwaysTerminates(eb.List)
+	case *ast.BlockStmt:
+		return alwaysTerminates(last.List)
+	}
+	return false
+}
+
+// commitOrderRename enforces R2: every os.Rename call must be dominated
+// by an (*os.File).Sync call.
+func commitOrderRename(pass *Pass, fi *FuncInfo, fd *ast.FuncDecl) {
+	var syncs []stmtLoc
+	var renames []struct {
+		call *ast.CallExpr
+		loc  stmtLoc
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+			return true
+		}
+		blk, idx, located := fi.Locate(call)
+		if !located || !fi.Reachable(blk) {
+			return true
+		}
+		switch fn.Name() {
+		case "Rename":
+			renames = append(renames, struct {
+				call *ast.CallExpr
+				loc  stmtLoc
+			}{call, stmtLoc{blk, idx}})
+		case "Sync":
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+				if named, ok := deref(recv.Type()).(*types.Named); ok && named.Obj().Name() == "File" {
+					syncs = append(syncs, stmtLoc{blk, idx})
+				}
+			}
+		}
+		return true
+	})
+	for _, r := range renames {
+		ok := false
+		for _, s := range syncs {
+			if fi.StmtDominates(s.b, s.idx, r.loc.b, r.loc.idx) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			pass.Reportf(r.call.Pos(), "os.Rename in %s is not dominated by an (*os.File).Sync: a crash could publish an unfsynced file", fd.Name.Name)
+		}
+	}
+}
+
+// recvVar returns the receiver variable object of a method, nil for
+// unnamed/blank receivers.
+func recvVar(pass *Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	name := fd.Recv.List[0].Names[0]
+	if name.Name == "_" {
+		return nil
+	}
+	return pass.Info.Defs[name]
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// walShapedFields returns the receiver struct's fields whose type has an
+// Append method returning (uint64, error) — the WAL commit-point shape.
+func walShapedFields(recvType types.Type) map[string]bool {
+	st, ok := deref(recvType).Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	out := map[string]bool{}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		named, ok := deref(f.Type()).(*types.Named)
+		if !ok {
+			continue
+		}
+		for m := 0; m < named.NumMethods(); m++ {
+			fn := named.Method(m)
+			if fn.Name() != "Append" {
+				continue
+			}
+			res := fn.Type().(*types.Signature).Results()
+			if res.Len() == 2 && isUint64(res.At(0).Type()) && isErrorType(res.At(1).Type()) {
+				out[f.Name()] = true
+			}
+		}
+	}
+	return out
+}
+
+func isUint64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,261 @@
+package lint
+
+// dataflow.go — a generic worklist dataflow solver over the CFGs built in
+// cfg.go, plus the one concrete instance every analyzer wants off the
+// shelf: reaching definitions. Together with FuncInfo's dominance queries
+// this is the "facts" API from the PR plan — dominance, reaching defs,
+// and must/may-hold-at-point state via Solve.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FlowSpec describes one dataflow problem over states of type S.
+// Forward problems propagate entry→exit along Succs; backward problems
+// exit→entry along Preds. Top is the state of unvisited/unreachable
+// paths and must be the identity of Meet. Transfer maps a block's
+// in-state to its out-state and must be monotone for termination.
+type FlowSpec[S any] struct {
+	Forward  bool
+	Boundary S // state at the root (Entry for forward, Exit for backward)
+	Top      S
+	Meet     func(S, S) S
+	Transfer func(*Block, S) S
+	Equal    func(S, S) bool
+}
+
+// Solve runs the iterative fixpoint and returns the in-state of every
+// block (indexed by Block.Index). For forward problems "in" means state
+// on entry to the block; for backward problems, state on exit from it.
+func Solve[S any](fi *FuncInfo, spec FlowSpec[S]) []S {
+	g := fi.G
+	root, order := g.Entry, fi.rpo
+	inEdges := func(b *Block) []*Block { return b.Preds }
+	if !spec.Forward {
+		root, order = g.Exit, fi.prpo
+		inEdges = func(b *Block) []*Block { return b.Succs }
+	}
+	in := make([]S, len(g.Blocks))
+	out := make([]S, len(g.Blocks))
+	for i := range in {
+		in[i], out[i] = spec.Top, spec.Top
+	}
+	in[root.Index] = spec.Boundary
+	out[root.Index] = spec.Transfer(root, spec.Boundary)
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b == root {
+				continue
+			}
+			s := spec.Top
+			for _, p := range inEdges(b) {
+				s = spec.Meet(s, out[p.Index])
+			}
+			in[b.Index] = s
+			ns := spec.Transfer(b, s)
+			if !spec.Equal(ns, out[b.Index]) {
+				out[b.Index] = ns
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+// ---------------------------------------------------------------------------
+// Reaching definitions.
+
+// Def is one definition site of a variable: an assignment, declaration,
+// range binding, ++/--, or (Node == nil) the function's own
+// parameter/receiver/named-result binding at entry. Call is set when the
+// defined value syntactically comes from a single call expression — the
+// fact deferclose keys on.
+type Def struct {
+	Obj  types.Object
+	Node ast.Node
+	Call *ast.CallExpr
+}
+
+// bitset over def indices.
+type defbits []uint64
+
+func newDefbits(n int) defbits   { return make(defbits, (n+63)/64) }
+func (d defbits) set(i int)      { d[i/64] |= 1 << (uint(i) % 64) }
+func (d defbits) clear(i int)    { d[i/64] &^= 1 << (uint(i) % 64) }
+func (d defbits) has(i int) bool { return d[i/64]&(1<<(uint(i)%64)) != 0 }
+func (d defbits) clone() defbits { c := make(defbits, len(d)); copy(c, d); return c }
+func (d defbits) equal(o defbits) bool {
+	for i := range d {
+		if d[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+func (d defbits) union(o defbits) defbits {
+	c := d.clone()
+	for i := range c {
+		c[i] |= o[i]
+	}
+	return c
+}
+
+// ReachingDefs answers "which definitions of variable v can reach this
+// statement?" for one function.
+type ReachingDefs struct {
+	fi    *FuncInfo
+	defs  []*Def
+	byObj map[types.Object][]int
+	// stmtDefs caches, per block statement, the defs that statement makes.
+	stmtDefs map[ast.Node][]int
+	in       []defbits
+}
+
+// BuildReachingDefs collects definition sites from the function's blocks
+// (skipping nested function literals) and solves the forward union
+// problem. recv and ftype contribute the entry-point bindings for the
+// receiver, parameters and named results; either may be nil.
+func BuildReachingDefs(fi *FuncInfo, recv *ast.FieldList, ftype *ast.FuncType) *ReachingDefs {
+	rd := &ReachingDefs{
+		fi:       fi,
+		byObj:    make(map[types.Object][]int),
+		stmtDefs: make(map[ast.Node][]int),
+	}
+	addDef := func(obj types.Object, node ast.Node, call *ast.CallExpr) int {
+		i := len(rd.defs)
+		rd.defs = append(rd.defs, &Def{Obj: obj, Node: node, Call: call})
+		rd.byObj[obj] = append(rd.byObj[obj], i)
+		return i
+	}
+	var entryDefs []int
+	fieldDefs := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := fi.Info.Defs[name]; obj != nil {
+					entryDefs = append(entryDefs, addDef(obj, nil, nil))
+				}
+			}
+		}
+	}
+	fieldDefs(recv)
+	if ftype != nil {
+		fieldDefs(ftype.Params)
+		fieldDefs(ftype.Results)
+	}
+	identObj := func(e ast.Expr) types.Object {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return nil
+		}
+		if obj := fi.Info.Defs[id]; obj != nil {
+			return obj
+		}
+		return fi.Info.Uses[id]
+	}
+	for _, blk := range fi.G.Blocks {
+		for _, n := range blk.Stmts {
+			var ds []int
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				var call *ast.CallExpr
+				if len(st.Rhs) == 1 {
+					call, _ = st.Rhs[0].(*ast.CallExpr)
+				}
+				for _, lhs := range st.Lhs {
+					if obj := identObj(lhs); obj != nil {
+						ds = append(ds, addDef(obj, st, call))
+					}
+				}
+			case *ast.IncDecStmt:
+				if obj := identObj(st.X); obj != nil {
+					ds = append(ds, addDef(obj, st, nil))
+				}
+			case *ast.DeclStmt:
+				if gd, ok := st.Decl.(*ast.GenDecl); ok {
+					for _, spec := range gd.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						var call *ast.CallExpr
+						if len(vs.Values) == 1 {
+							call, _ = vs.Values[0].(*ast.CallExpr)
+						}
+						for _, name := range vs.Names {
+							if obj := fi.Info.Defs[name]; obj != nil {
+								ds = append(ds, addDef(obj, st, call))
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if obj := identObj(st.Key); st.Key != nil && obj != nil {
+					ds = append(ds, addDef(obj, st, nil))
+				}
+				if obj := identObj(st.Value); st.Value != nil && obj != nil {
+					ds = append(ds, addDef(obj, st, nil))
+				}
+			}
+			if ds != nil {
+				rd.stmtDefs[n] = ds
+			}
+		}
+	}
+	n := len(rd.defs)
+	boundary := newDefbits(n)
+	for _, i := range entryDefs {
+		boundary.set(i)
+	}
+	rd.in = Solve(fi, FlowSpec[defbits]{
+		Forward:  true,
+		Boundary: boundary,
+		Top:      newDefbits(n),
+		Meet:     func(a, b defbits) defbits { return a.union(b) },
+		Transfer: func(b *Block, s defbits) defbits {
+			cur := s.clone()
+			for _, st := range b.Stmts {
+				rd.apply(cur, st)
+			}
+			return cur
+		},
+		Equal: func(a, b defbits) bool { return a.equal(b) },
+	})
+	return rd
+}
+
+// apply mutates cur with the kill/gen effect of one block statement.
+func (rd *ReachingDefs) apply(cur defbits, st ast.Node) {
+	for _, di := range rd.stmtDefs[st] {
+		for _, k := range rd.byObj[rd.defs[di].Obj] {
+			cur.clear(k)
+		}
+	}
+	for _, di := range rd.stmtDefs[st] {
+		cur.set(di)
+	}
+}
+
+// At returns the definitions of obj that may reach the start of the
+// block statement containing node n. Returns nil if n cannot be located.
+func (rd *ReachingDefs) At(n ast.Node, obj types.Object) []*Def {
+	blk, idx, ok := rd.fi.Locate(n)
+	if !ok {
+		return nil
+	}
+	cur := rd.in[blk.Index].clone()
+	for i := 0; i < idx; i++ {
+		rd.apply(cur, blk.Stmts[i])
+	}
+	var out []*Def
+	for _, di := range rd.byObj[obj] {
+		if cur.has(di) {
+			out = append(out, rd.defs[di])
+		}
+	}
+	return out
+}

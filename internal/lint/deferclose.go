@@ -1,0 +1,132 @@
+package lint
+
+// deferclose flags `defer f.Close()` (and `defer f.Sync()`) on *os.File
+// variables whose reaching definitions include a write-mode open
+// (os.Create, or os.OpenFile with a writing flag): the deferred call
+// discards the error, and for buffered writes Close is where ENOSPC and
+// quota errors surface — exactly the failure a durability-focused repo
+// cannot drop. Read-only opens are exempt (Close errors there are
+// uninteresting), as are files whose open mode cannot be determined
+// without whole-program analysis.
+//
+// This is the reaching-definitions client of the dataflow layer: the
+// defer is reported only if a write-open definition actually reaches it,
+// so reassignment (f = os.Open(...) on another path) is handled by the
+// solver rather than by syntax.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+var DeferClose = &Analyzer{
+	Name:    "deferclose",
+	Doc:     "deferred Close/Sync on a write-opened *os.File discards the error",
+	Default: true,
+	Run:     runDeferClose,
+}
+
+func runDeferClose(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					deferCloseFunc(pass, fn.Recv, fn.Type, fn.Body)
+				}
+			case *ast.FuncLit:
+				deferCloseFunc(pass, nil, fn.Type, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func deferCloseFunc(pass *Pass, recv *ast.FieldList, ftype *ast.FuncType, body *ast.BlockStmt) {
+	var fi *FuncInfo
+	var rd *ReachingDefs
+	for _, d := range collectDefers(body) {
+		sel, ok := d.Call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "Sync") || len(d.Call.Args) != 0 {
+			continue
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil || !isOSFilePtr(obj.Type()) {
+			continue
+		}
+		if fi == nil {
+			fi = NewFuncInfo(body, pass.Info)
+			rd = BuildReachingDefs(fi, recv, ftype)
+		}
+		for _, def := range rd.At(d, obj) {
+			if def.Call != nil && isWriteOpen(pass, def.Call) {
+				pass.Reportf(d.Pos(), "deferred %s.%s discards the error from a file opened for writing: close explicitly and check the error", id.Name, sel.Sel.Name)
+				break
+			}
+		}
+	}
+}
+
+// collectDefers returns the defer statements directly in body, skipping
+// nested function literals (which get their own pass).
+func collectDefers(body *ast.BlockStmt) []*ast.DeferStmt {
+	var out []*ast.DeferStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			out = append(out, d)
+		}
+		return true
+	})
+	return out
+}
+
+func isOSFilePtr(t types.Type) bool {
+	named, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File"
+}
+
+// isWriteOpen reports whether call opens a file for writing: os.Create,
+// or os.OpenFile whose flag argument is a constant with O_WRONLY/O_RDWR
+// set (the POSIX access-mode bits, identical on every Go port).
+func isWriteOpen(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return false
+	}
+	switch fn.Name() {
+	case "Create":
+		return true
+	case "OpenFile":
+		if len(call.Args) < 2 {
+			return false
+		}
+		tv, ok := pass.Info.Types[call.Args[1]]
+		if !ok || tv.Value == nil {
+			return false
+		}
+		flags, ok := constant.Int64Val(tv.Value)
+		if !ok {
+			return false
+		}
+		const oWronly, oRdwr = 1, 2 // syscall.O_WRONLY / O_RDWR on all ports
+		return flags&(oWronly|oRdwr) != 0
+	}
+	return false
+}

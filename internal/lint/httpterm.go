@@ -1,0 +1,205 @@
+package lint
+
+// httpterm checks handler termination: once a function has written an
+// error response through http.Error or WriteHeader, the remaining path
+// must lead to a return without touching the ResponseWriter again — a
+// fallthrough double-write is the classic "superfluous WriteHeader" bug,
+// and in this repo it would corrupt JSON bodies behind a 4xx/5xx status.
+//
+// Concretely: a forward may-analysis over the CFG tracks "an error
+// response has been written on some path reaching here". In that state,
+//
+//   - after http.Error: any further use of the writer (another
+//     http.Error, WriteHeader, Write, or passing the writer to any call
+//     other than w.Header()) is reported, and
+//   - after a bare WriteHeader: only a second WriteHeader/http.Error is
+//     reported — streaming a body after setting the status is normal.
+//
+// The equivalent formulation in the PR plan — "http.Error must
+// postdominate into a return" — is checked path-sensitively, so a
+// switch whose every case writes an error and then falls to one shared
+// return is fine, while a loop that breaks after http.Error and then
+// falls into the success path is not.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var HTTPTerm = &Analyzer{
+	Name:    "httpterm",
+	Doc:     "an error response must be followed by return: no writer use after http.Error/WriteHeader",
+	Default: true,
+	Run:     runHTTPTerm,
+}
+
+// httpWriteFact is the dataflow state: the position of an error response
+// already written on some path (NoPos = none), split by severity.
+type httpWriteFact struct {
+	errorAt  token.Pos // http.Error (terminal: body + status written)
+	headerAt token.Pos // bare WriteHeader (status written, body may follow)
+}
+
+func meetHTTPFact(a, b httpWriteFact) httpWriteFact {
+	pick := func(x, y token.Pos) token.Pos {
+		if x != token.NoPos {
+			return x
+		}
+		return y
+	}
+	return httpWriteFact{pick(a.errorAt, b.errorAt), pick(a.headerAt, b.headerAt)}
+}
+
+func runHTTPTerm(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					httpTermFunc(pass, fn.Type, fn.Body)
+				}
+			case *ast.FuncLit:
+				httpTermFunc(pass, fn.Type, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// responseWriterParam returns the object of the first parameter whose
+// type is net/http.ResponseWriter, or nil.
+func responseWriterParam(pass *Pass, ftype *ast.FuncType) types.Object {
+	if ftype.Params == nil {
+		return nil
+	}
+	for _, f := range ftype.Params.List {
+		for _, name := range f.Names {
+			obj := pass.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			tn := named.Obj()
+			if tn.Pkg() != nil && tn.Pkg().Path() == "net/http" && tn.Name() == "ResponseWriter" {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// writerUse classifies one appearance of the writer in a call.
+type writerUse struct {
+	pos      token.Pos
+	isError  bool // http.Error(w, …)
+	isHeader bool // w.WriteHeader(…)
+	desc     string
+}
+
+func httpTermFunc(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	w := responseWriterParam(pass, ftype)
+	if w == nil {
+		return
+	}
+	fi := NewFuncInfo(body, pass.Info)
+
+	// usesIn collects writer uses in one block statement, in source order.
+	usesIn := func(st ast.Node) []writerUse {
+		var out []writerUse
+		inspectBlockNode(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if u, ok := classifyWriterCall(pass, call, w); ok {
+				out = append(out, u)
+			}
+			return true
+		})
+		return out
+	}
+
+	transfer := func(b *Block, s httpWriteFact) httpWriteFact {
+		for _, st := range b.Stmts {
+			for _, u := range usesIn(st) {
+				if u.isError {
+					s.errorAt = u.pos
+				} else if u.isHeader {
+					s.headerAt = u.pos
+				}
+			}
+		}
+		return s
+	}
+	in := Solve(fi, FlowSpec[httpWriteFact]{
+		Forward:  true,
+		Boundary: httpWriteFact{},
+		Top:      httpWriteFact{},
+		Meet:     meetHTTPFact,
+		Transfer: transfer,
+		Equal:    func(a, b httpWriteFact) bool { return a == b },
+	})
+
+	fset := pass.Fset
+	for _, blk := range fi.G.Blocks {
+		if !fi.Reachable(blk) {
+			continue
+		}
+		s := in[blk.Index]
+		for _, st := range blk.Stmts {
+			for _, u := range usesIn(st) {
+				switch {
+				case s.errorAt != token.NoPos:
+					pass.Reportf(u.pos, "%s after http.Error at line %d already wrote the error response: missing return?",
+						u.desc, fset.Position(s.errorAt).Line)
+				case s.headerAt != token.NoPos && (u.isError || u.isHeader):
+					pass.Reportf(u.pos, "%s after WriteHeader at line %d: status already written, missing return?",
+						u.desc, fset.Position(s.headerAt).Line)
+				}
+				if u.isError {
+					s.errorAt = u.pos
+				} else if u.isHeader {
+					s.headerAt = u.pos
+				}
+			}
+		}
+	}
+}
+
+// classifyWriterCall decides whether call uses the writer w: a method
+// call on w (except Header), http.Error with w as first argument, or any
+// call receiving w as an argument.
+func classifyWriterCall(pass *Pass, call *ast.CallExpr, w types.Object) (writerUse, bool) {
+	isW := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && pass.Info.Uses[id] == w
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if isW(sel.X) {
+			switch sel.Sel.Name {
+			case "Header":
+				return writerUse{}, false
+			case "WriteHeader":
+				return writerUse{pos: call.Pos(), isHeader: true, desc: "WriteHeader"}, true
+			default:
+				return writerUse{pos: call.Pos(), desc: "w." + sel.Sel.Name}, true
+			}
+		}
+		if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "net/http" && fn.Name() == "Error" &&
+			len(call.Args) > 0 && isW(call.Args[0]) {
+			return writerUse{pos: call.Pos(), isError: true, desc: "http.Error"}, true
+		}
+	}
+	for _, arg := range call.Args {
+		if isW(arg) {
+			return writerUse{pos: call.Pos(), desc: "call passing the ResponseWriter"}, true
+		}
+	}
+	return writerUse{}, false
+}

@@ -1,0 +1,472 @@
+package lint
+
+// lockguard checks mutex discipline on struct fields: a field that is
+// guarded by a sibling sync.Mutex/RWMutex must not be touched on paths
+// where the lock is provably not held. A field is guarded if either
+//
+//   - its declaration comment says `guarded by <mutexField>`, or
+//   - it is written while the write lock is held in at least two distinct
+//     methods (the inference rule; the threshold keeps a single method's
+//     missing Lock() detectable via the others, while write-once fields
+//     published before sharing — set only in constructors — stay exempt).
+//
+// The analysis is a per-method forward dataflow over the CFG with a
+// five-point lock-state lattice per mutex field: unreached, write-held,
+// read-held, not-held, and mixed (held on some paths only). Only the
+// not-held state is reported for reads, and not-held/read-held for
+// writes — "mixed" paths stay silent, so conditional locking never
+// false-positives. Methods whose name ends in "Locked" are callee-locked
+// helpers by repo convention and start in the write-held state; function
+// literals and non-method functions (constructors, replay before
+// publication) are not analyzed.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+var LockGuard = &Analyzer{
+	Name:    "lockguard",
+	Doc:     "guarded struct fields must not be accessed without their mutex held",
+	Default: true,
+	Run:     runLockGuard,
+}
+
+type lockState uint8
+
+const (
+	lsTop   lockState = iota // unreached
+	lsWrite                  // write lock held on all paths
+	lsRead                   // read lock (at least) held on all paths
+	lsNone                   // provably not held
+	lsMixed                  // held on some paths, not on others
+)
+
+func meetLock(a, b lockState) lockState {
+	switch {
+	case a == lsTop:
+		return b
+	case b == lsTop:
+		return a
+	case a == b:
+		return a
+	case (a == lsWrite && b == lsRead) || (a == lsRead && b == lsWrite):
+		return lsRead
+	default:
+		return lsMixed
+	}
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// lockedStruct is one analyzed struct type: its mutex fields and its
+// guarded-field table.
+type lockedStruct struct {
+	named   *types.Named
+	mutexes map[string]bool   // field name → is RWMutex-capable
+	guarded map[string]string // field name → guarding mutex field
+	// heldWriters counts distinct methods writing each unannotated field
+	// under the write lock, for the inference rule.
+	heldWriters map[string]map[string]bool
+	inferred    map[string]bool
+}
+
+// fieldAccess is one receiver-field touch recorded during the first pass.
+type fieldAccess struct {
+	sel    *ast.SelectorExpr
+	field  string
+	write  bool
+	state  lockState
+	method string
+}
+
+func runLockGuard(pass *Pass) error {
+	structs := lockGuardStructs(pass)
+	if len(structs) == 0 {
+		return nil
+	}
+	var accesses []*fieldAccess
+	byStruct := map[*lockedStruct][]*fieldAccess{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			ls, recvObj := lockGuardMethodTarget(pass, structs, fd)
+			if ls == nil || recvObj == nil {
+				continue
+			}
+			acc := lockGuardMethod(pass, ls, fd, recvObj)
+			accesses = append(accesses, acc...)
+			byStruct[ls] = append(byStruct[ls], acc...)
+			for _, a := range acc {
+				if a.write && a.state == lsWrite {
+					m := ls.heldWriters[a.field]
+					if m == nil {
+						m = map[string]bool{}
+						ls.heldWriters[a.field] = m
+					}
+					m[a.method] = true
+				}
+			}
+		}
+	}
+	// Inference: unannotated fields written under the write lock in ≥2
+	// distinct methods are treated as guarded. Only unambiguous when the
+	// struct has exactly one mutex field.
+	for ls := range byStruct {
+		if len(ls.mutexes) != 1 {
+			continue
+		}
+		var mu string
+		for m := range ls.mutexes {
+			mu = m
+		}
+		for f, methods := range ls.heldWriters {
+			if _, annotated := ls.guarded[f]; annotated {
+				continue
+			}
+			if len(methods) >= 2 {
+				ls.guarded[f] = mu
+				ls.inferred[f] = true
+			}
+		}
+	}
+	for ls, acc := range byStruct {
+		for _, a := range acc {
+			mu, ok := ls.guarded[a.field]
+			if !ok {
+				continue
+			}
+			bad := a.state == lsNone || (a.write && a.state == lsRead)
+			if !bad {
+				continue
+			}
+			kind := "read of"
+			if a.write {
+				kind = "write to"
+			}
+			how := "documented guarded by " + mu
+			if ls.inferred[a.field] {
+				how = fmt.Sprintf("inferred guarded by %s: locked writes in %d methods", mu, len(ls.heldWriters[a.field]))
+			}
+			hold := mu + " is not held here"
+			if a.state == lsRead {
+				hold = "only the read lock is held here"
+			}
+			pass.Reportf(a.sel.Pos(), "%s %s.%s without holding %s (%s; %s)",
+				kind, ls.named.Obj().Name(), a.field, mu, how, hold)
+		}
+	}
+	return nil
+}
+
+// lockGuardStructs finds every struct in the package with a direct
+// sync.Mutex/RWMutex field and parses its `guarded by` annotations.
+func lockGuardStructs(pass *Pass) map[*types.Named]*lockedStruct {
+	out := map[*types.Named]*lockedStruct{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Defs[ts.Name]
+			if !ok || obj == nil {
+				return true
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				return true
+			}
+			ls := &lockedStruct{
+				named:       named,
+				mutexes:     map[string]bool{},
+				guarded:     map[string]string{},
+				heldWriters: map[string]map[string]bool{},
+				inferred:    map[string]bool{},
+			}
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					fobj := pass.Info.Defs[name]
+					if fobj == nil {
+						continue
+					}
+					if rw, isMu := mutexType(fobj.Type()); isMu {
+						ls.mutexes[name.Name] = rw
+						continue
+					}
+					for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+						if cg == nil {
+							continue
+						}
+						if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+							ls.guarded[name.Name] = m[1]
+						}
+					}
+				}
+			}
+			if len(ls.mutexes) == 0 {
+				return true
+			}
+			// Audit annotations: `guarded by` must name a sibling mutex.
+			for f, mu := range ls.guarded {
+				if !ls.mutexes[mu] {
+					if _, plain := ls.mutexes[mu]; !plain {
+						pass.Reportf(ts.Pos(), "field %s.%s is annotated `guarded by %s`, but %s is not a sync.Mutex/RWMutex field of the struct", named.Obj().Name(), f, mu, mu)
+						delete(ls.guarded, f)
+					}
+				}
+			}
+			out[named] = ls
+			return true
+		})
+	}
+	return out
+}
+
+// mutexType reports whether t is sync.Mutex or sync.RWMutex (and which).
+func mutexType(t types.Type) (rw bool, ok bool) {
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return false, true
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// lockGuardMethodTarget resolves which analyzed struct (if any) fd is a
+// method of, and the receiver variable object.
+func lockGuardMethodTarget(pass *Pass, structs map[*types.Named]*lockedStruct, fd *ast.FuncDecl) (*lockedStruct, types.Object) {
+	recvField := fd.Recv.List[0]
+	if len(recvField.Names) == 0 || recvField.Names[0].Name == "_" {
+		return nil, nil
+	}
+	recvObj := pass.Info.Defs[recvField.Names[0]]
+	if recvObj == nil {
+		return nil, nil
+	}
+	t := recvObj.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	return structs[named], recvObj
+}
+
+// lockGuardMethod runs the lock-state dataflow over one method and
+// returns every receiver-field access with the state it happens under.
+func lockGuardMethod(pass *Pass, ls *lockedStruct, fd *ast.FuncDecl, recvObj types.Object) []*fieldAccess {
+	fi := NewFuncInfo(fd.Body, pass.Info)
+	initial := lsNone
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		initial = lsWrite
+	}
+	// One solved lattice per mutex field (almost always exactly one).
+	states := map[string][]lockState{}
+	for mu := range ls.mutexes {
+		mu := mu
+		states[mu] = Solve(fi, FlowSpec[lockState]{
+			Forward:  true,
+			Boundary: initial,
+			Top:      lsTop,
+			Meet:     meetLock,
+			Transfer: func(b *Block, s lockState) lockState {
+				for _, st := range b.Stmts {
+					if op, ok := lockOp(pass, st, recvObj, mu); ok {
+						s = op
+					}
+				}
+				return s
+			},
+			Equal: func(a, b lockState) bool { return a == b },
+		})
+	}
+	var out []*fieldAccess
+	for _, blk := range fi.G.Blocks {
+		if !fi.Reachable(blk) {
+			continue
+		}
+		cur := map[string]lockState{}
+		for mu := range states {
+			cur[mu] = states[mu][blk.Index]
+		}
+		for _, st := range blk.Stmts {
+			if _, isDefer := st.(*ast.DeferStmt); !isDefer {
+				for _, a := range fieldAccesses(pass, st, recvObj, ls) {
+					mu := ls.guarded[a.field]
+					if mu == "" {
+						// Not (yet) known guarded; record under the sole
+						// mutex so inference can use the state.
+						for m := range ls.mutexes {
+							mu = m
+						}
+					}
+					a.state = cur[mu]
+					a.method = fd.Name.Name
+					out = append(out, a)
+				}
+			}
+			for mu := range cur {
+				if op, ok := lockOp(pass, st, recvObj, mu); ok {
+					cur[mu] = op
+				}
+			}
+		}
+	}
+	return out
+}
+
+// lockOp reports the state effect of st on recv.<mu>: Lock→write-held,
+// RLock→read-held, Unlock/RUnlock→not-held. Deferred unlocks run at
+// return and deliberately have no mid-function effect.
+func lockOp(pass *Pass, st ast.Node, recvObj types.Object, mu string) (lockState, bool) {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return 0, false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return 0, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return 0, false
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || inner.Sel.Name != mu {
+		return 0, false
+	}
+	base, ok := inner.X.(*ast.Ident)
+	if !ok || pass.Info.Uses[base] != recvObj {
+		return 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		return lsWrite, true
+	case "RLock":
+		return lsRead, true
+	case "Unlock", "RUnlock":
+		return lsNone, true
+	}
+	return 0, false
+}
+
+// fieldAccesses collects recv.<field> touches in one statement, with
+// read/write classification. Nested function literals are skipped (their
+// execution time is unknown), as are touches of the mutex fields
+// themselves.
+func fieldAccesses(pass *Pass, st ast.Node, recvObj types.Object, ls *lockedStruct) []*fieldAccess {
+	var out []*fieldAccess
+	var walk func(n ast.Node, write bool)
+	walkAll := func(ns []ast.Expr, write bool) {
+		for _, n := range ns {
+			walk(n, write)
+		}
+	}
+	walk = func(n ast.Node, write bool) {
+		switch e := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			return
+		case *ast.AssignStmt:
+			walkAll(e.Lhs, true)
+			walkAll(e.Rhs, false)
+		case *ast.IncDecStmt:
+			walk(e.X, true)
+		case *ast.RangeStmt:
+			// As a block node, a range statement is the loop head only:
+			// its body statements live in their own blocks.
+			walk(e.Key, true)
+			walk(e.Value, true)
+			walk(e.X, false)
+		case *ast.CallExpr:
+			if id, ok := e.Fun.(*ast.Ident); ok {
+				if b, isB := pass.Info.Uses[id].(*types.Builtin); isB && b.Name() == "delete" && len(e.Args) == 2 {
+					walk(e.Args[0], true)
+					walk(e.Args[1], false)
+					return
+				}
+			}
+			walk(e.Fun, false)
+			walkAll(e.Args, false)
+		case *ast.SelectorExpr:
+			if base, ok := e.X.(*ast.Ident); ok && pass.Info.Uses[base] == recvObj {
+				name := e.Sel.Name
+				if _, isMu := ls.mutexes[name]; !isMu && isStructField(ls.named, name) {
+					out = append(out, &fieldAccess{sel: e, field: name, write: write})
+				}
+				return
+			}
+			walk(e.X, write)
+			return
+		case *ast.IndexExpr:
+			walk(e.X, write)
+			walk(e.Index, false)
+		case *ast.SliceExpr:
+			walk(e.X, write)
+			walk(e.Low, false)
+			walk(e.High, false)
+			walk(e.Max, false)
+		case *ast.StarExpr:
+			walk(e.X, write)
+		case *ast.UnaryExpr:
+			walk(e.X, write)
+		case *ast.ParenExpr:
+			walk(e.X, write)
+		default:
+			ast.Inspect(n, func(d ast.Node) bool {
+				if d == n {
+					return true
+				}
+				switch d.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.AssignStmt, *ast.IncDecStmt, *ast.CallExpr, *ast.SelectorExpr,
+					*ast.IndexExpr, *ast.SliceExpr, *ast.StarExpr, *ast.UnaryExpr, *ast.ParenExpr:
+					walk(d, false)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	walk(st, false)
+	return out
+}
+
+// isStructField reports whether named's underlying struct has a field
+// called name.
+func isStructField(named *types.Named, name string) bool {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+// Fixture for the deferclose analyzer: deferred Close/Sync on
+// write-opened *os.File variables discards the error that matters
+// (ENOSPC and friends surface at close time). Read-only opens are clean;
+// reaching definitions decide which open reaches the defer.
+package deferclose
+
+import "os"
+
+func bad(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `deferred f.Close discards the error`
+	_, err = f.Write([]byte("x"))
+	return err
+}
+
+func badOpenFile(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Sync()  // want `deferred f.Sync discards the error`
+	defer f.Close() // want `deferred f.Close discards the error`
+	_, err = f.Write([]byte("x"))
+	return err
+}
+
+func goodReadOnly(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}
+
+func goodReadOnlyOpenFile(path string) error {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+func goodExplicitClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// reassigned: the variable starts read-only but may be rebound to a
+// write-mode open on one path — the write-open definition reaches the
+// defer, so it is reported.
+func reassigned(path string, rewrite bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if rewrite {
+		f.Close()
+		f, err = os.Create(path)
+		if err != nil {
+			return err
+		}
+	}
+	defer f.Close() // want `deferred f.Close discards the error`
+	return nil
+}
+
+// loopEarly is the multi-block case: open + defer inside a loop body
+// with an early return ahead of them.
+func loopEarly(paths []string) error {
+	for i, p := range paths {
+		if i > 4 {
+			return nil
+		}
+		f, err := os.Create(p)
+		if err != nil {
+			return err
+		}
+		defer f.Close() // want `deferred f.Close discards the error`
+	}
+	return nil
+}
+
+func allowed(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	//lint:allow deferclose best-effort scratch file, losing it is acceptable
+	defer f.Close()
+	f.Write([]byte("scratch"))
+}

@@ -1,0 +1,168 @@
+// Fixture for the commitorder analyzer, laid out so its import path ends
+// in internal/durable (the package-suffix scope match, like the errsink
+// fixture). The wal type mirrors the real one's commit-point shape:
+// Append returning (uint64, error).
+package durable
+
+import "os"
+
+type wal struct{ n uint64 }
+
+func (w *wal) Append(kind byte, payload []byte) (uint64, error) {
+	w.n++
+	return w.n, nil
+}
+
+type Store struct {
+	w       *wal
+	applied map[string]int
+	dirty   int
+	closed  bool
+}
+
+// Good follows the contract: append, terminating err guard, then apply.
+func (s *Store) Good(id string, payload []byte) error {
+	seq, err := s.w.Append(1, payload)
+	if err != nil {
+		return err
+	}
+	s.applied[id] = int(seq)
+	s.dirty++
+	return nil
+}
+
+// GoodInitGuard uses the if-init form of the guard.
+func (s *Store) GoodInitGuard(id string, payload []byte) error {
+	if _, err := s.w.Append(1, payload); err != nil {
+		return err
+	}
+	s.dirty++
+	return nil
+}
+
+func (s *Store) BadNoAppend(id string) {
+	s.applied[id] = 1 // want `not dominated by a WAL Append`
+}
+
+func (s *Store) BadUnchecked(id string, payload []byte) {
+	s.w.Append(1, payload)
+	s.applied[id] = 1 // want `error is not checked by a terminating`
+}
+
+// BadGuardedElsewhere checks a different error variable: the append's own
+// error is never guarded, so the reaching-defs match rejects the decoy.
+func (s *Store) BadGuardedElsewhere(id string, payload []byte) error {
+	err := s.decode(payload)
+	if err != nil {
+		return err
+	}
+	_, err2 := s.w.Append(1, payload)
+	_ = err2
+	if err != nil {
+		return err
+	}
+	s.applied[id] = 1 // want `error is not checked by a terminating`
+	return nil
+}
+
+func (s *Store) decode(payload []byte) error { return nil }
+
+// Close writes a bool lifecycle latch, which is exempt: closed-ness is
+// not replayed state.
+func (s *Store) Close() error {
+	s.closed = true
+	return nil
+}
+
+// LoopApply is the multi-block clean case: early return, then
+// append+guard+apply inside the loop body — every path to the mutation
+// passes through the checked append.
+func (s *Store) LoopApply(ids []string, payload []byte) error {
+	for _, id := range ids {
+		if id == "" {
+			return nil
+		}
+		seq, err := s.w.Append(1, payload)
+		if err != nil {
+			return err
+		}
+		s.applied[id] = int(seq)
+	}
+	return nil
+}
+
+// LoopBad applies before appending: on the first iteration nothing has
+// been committed yet, so the mutation is not append-dominated.
+func (s *Store) LoopBad(ids []string, payload []byte) {
+	seq := uint64(0)
+	for _, id := range ids {
+		s.applied[id] = int(seq) // want `not dominated by a WAL Append`
+		var err error
+		seq, err = s.w.Append(1, payload)
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Reset mutates with no append at all; the allow comment records the
+// audited exception.
+func (s *Store) Reset() {
+	//lint:allow commitorder fixture: scratch counter is never persisted or replayed
+	s.dirty = 0
+}
+
+// writeGood is the R2 clean shape: fsync dominates the rename.
+func writeGood(path string, data []byte) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path)
+}
+
+// writeBad skips the fsync: a crash after the rename can publish an
+// empty or torn file under the final name.
+func writeBad(path string, data []byte) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path) // want `not dominated by an \(\*os\.File\)\.Sync`
+}
+
+// writeSyncOneBranch only fsyncs on one path, which is not domination.
+func writeSyncOneBranch(path string, data []byte, sync bool) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path) // want `not dominated by an \(\*os\.File\)\.Sync`
+}

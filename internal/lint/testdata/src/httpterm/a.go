@@ -1,0 +1,91 @@
+// Fixture for the httpterm analyzer: error responses must flow into a
+// return without touching the writer again. Includes the switch-with-
+// shared-return shape from simcloudd's handleIngest (clean — the check
+// is path-sensitive, not block-local), a loop+break multi-block true
+// positive, and //lint:allow suppression.
+package httpterm
+
+import (
+	"fmt"
+	"net/http"
+)
+
+func good(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func badFallthrough(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+	}
+	fmt.Fprintln(w, "ok") // want `after http.Error at line \d+ already wrote the error response`
+}
+
+func doubleError(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "first", http.StatusInternalServerError)
+	http.Error(w, "second", http.StatusBadGateway) // want `http.Error after http.Error at line \d+`
+}
+
+// headerThenBody is the normal streaming shape: a status line followed by
+// a body is not a double write.
+func headerThenBody(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintln(w, "streaming body")
+}
+
+func headerTwice(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(http.StatusOK) // want `WriteHeader after WriteHeader at line \d+`
+}
+
+// headerCallsOK: w.Header() manipulation is never a write.
+func headerCallsOK(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	http.Error(w, "nope", http.StatusTeapot)
+}
+
+// switchCommonReturn mirrors handleIngest: every case writes exactly one
+// error, the paths merge, and the handler returns — clean.
+func switchCommonReturn(w http.ResponseWriter, code int) {
+	switch code {
+	case 1:
+		http.Error(w, "backpressure", http.StatusTooManyRequests)
+	case 2:
+		http.Error(w, "capacity", http.StatusInsufficientStorage)
+	default:
+		http.Error(w, "bad batch", http.StatusBadRequest)
+	}
+}
+
+// loopBreak is the multi-block true positive: break (not return) after
+// http.Error falls out of the loop into the success path.
+func loopBreak(w http.ResponseWriter, xs []int) {
+	for _, x := range xs {
+		if x < 0 {
+			http.Error(w, "negative", http.StatusBadRequest)
+			break
+		}
+	}
+	fmt.Fprintln(w, "done") // want `after http.Error at line \d+`
+}
+
+// loopReturn is the fixed version of loopBreak.
+func loopReturn(w http.ResponseWriter, xs []int) {
+	for _, x := range xs {
+		if x < 0 {
+			http.Error(w, "negative", http.StatusBadRequest)
+			return
+		}
+	}
+	fmt.Fprintln(w, "done")
+}
+
+func allowed(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "primary failure", http.StatusInternalServerError)
+	//lint:allow httpterm best-effort plain-text detail appended to an already-failed response
+	fmt.Fprintln(w, "details follow")
+}

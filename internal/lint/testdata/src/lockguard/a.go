@@ -1,0 +1,124 @@
+// Fixture for the lockguard analyzer: documented and inferred guarded
+// fields, the Locked-suffix convention, RWMutex read/write states, the
+// mixed-state silence rule, a loop + early-return multi-block case, and
+// //lint:allow suppression.
+package lockguard
+
+import "sync"
+
+type S struct {
+	mu    sync.Mutex
+	count int    // guarded by mu
+	name  string // unguarded: free to touch
+}
+
+func (s *S) Good() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count++
+}
+
+func (s *S) BadWrite() {
+	s.count++ // want `write to S.count without holding mu`
+}
+
+func (s *S) BadRead() int {
+	return s.count // want `read of S.count without holding mu`
+}
+
+func (s *S) UnguardedOK() {
+	s.name = "free"
+}
+
+func (s *S) AfterUnlock() {
+	s.mu.Lock()
+	s.count++
+	s.mu.Unlock()
+	s.count++ // want `write to S.count without holding mu`
+}
+
+// Mixed paths (held on one branch only) stay silent by design: the
+// analyzer only reports provably-unlocked access.
+func (s *S) Mixed(b bool) {
+	if b {
+		s.mu.Lock()
+	}
+	s.count++
+	if b {
+		s.mu.Unlock()
+	}
+}
+
+// LoopEarly is the multi-block CFG case: inside the loop the lock cycles
+// correctly (with an early return before it), but the write after the
+// loop runs unlocked.
+func (s *S) LoopEarly(n int) {
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			return
+		}
+		s.mu.Lock()
+		s.count++
+		s.mu.Unlock()
+	}
+	s.count++ // want `write to S.count without holding mu`
+}
+
+// helperLocked follows the repo's *Locked naming convention: the caller
+// holds mu, so the body starts in the held state.
+func (s *S) helperLocked() {
+	s.count++
+}
+
+func (s *S) Allowed() {
+	//lint:allow lockguard fixture: value published before any other goroutine can see it
+	s.count = 0
+}
+
+type R struct {
+	mu  sync.RWMutex
+	val int // guarded by mu
+}
+
+func (r *R) ReadOK() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.val
+}
+
+func (r *R) WriteUnderRLock() {
+	r.mu.RLock()
+	r.val++ // want `write to R.val without holding mu`
+	r.mu.RUnlock()
+}
+
+// I exercises the inference rule: n carries no annotation, but A and B
+// both write it under the lock, so C's unlocked write is reported.
+type I struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *I) A() { s.mu.Lock(); s.n++; s.mu.Unlock() }
+func (s *I) B() { s.mu.Lock(); s.n = 2; s.mu.Unlock() }
+func (s *I) C() { s.n++ } // want `write to I.n without holding mu`
+
+// Lone has only one locked-writing method, so w is not inferred guarded:
+// write-once-then-publish patterns stay legal.
+type Lone struct {
+	mu sync.Mutex
+	w  int
+}
+
+func (l *Lone) Only()     { l.mu.Lock(); l.w++; l.mu.Unlock() }
+func (l *Lone) Free() int { return l.w }
+
+// BadNote has a `guarded by` annotation naming a non-mutex field, which
+// is itself a finding (the annotation would otherwise silently do
+// nothing).
+type BadNote struct { // want `annotated .guarded by nosuch., but nosuch is not a sync.Mutex/RWMutex field`
+	mu sync.Mutex
+	x  int // guarded by nosuch
+}
+
+func (b *BadNote) Touch() { b.mu.Lock(); b.x++; b.mu.Unlock() }

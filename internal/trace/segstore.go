@@ -153,30 +153,32 @@ type SegStore struct {
 	cfg SegConfig
 
 	// Append-only backing arrays (the whole-store columns). Elements below
-	// the current length are never rewritten.
-	f       [numSegFs][]float64
-	numGPUs []int
-	gpu     []*JobRecord
-	multi   []*JobRecord
-	cpu     []*JobRecord
+	// the current length are never rewritten. All guarded by mu, like
+	// every mutable field below: unlocked helpers carry the *Locked name
+	// suffix and run only with mu held (enforced by simlint's lockguard).
+	f       [numSegFs][]float64 // guarded by mu
+	numGPUs []int               // guarded by mu
+	gpu     []*JobRecord        // guarded by mu
+	multi   []*JobRecord        // guarded by mu
+	cpu     []*JobRecord        // guarded by mu
 
-	byUser  map[int][]int32
-	byIface [NumInterfaces][]int32
+	byUser  map[int][]int32        // guarded by mu
+	byIface [NumInterfaces][]int32 // guarded by mu
 
 	// totalGPUHours accumulates in append order — the exact float sequence
 	// BuildColumns folds, so snapshots report bit-identical totals.
 	totalGPUHours float64
 
-	series map[int64]*TimeSeries
-	staged map[int64]stagedTelemetry
+	series map[int64]*TimeSeries     // guarded by mu
+	staged map[int64]stagedTelemetry // guarded by mu
 
-	chunks [][]JobRecord
-	nJobs  int
+	chunks [][]JobRecord // guarded by mu
+	nJobs  int           // guarded by mu
 
-	sealed  []*segment
-	tailOff [numSegFs]int
-	tailJob int
-	tailAgg SegSummary
+	sealed  []*segment    // guarded by mu
+	tailOff [numSegFs]int // guarded by mu
+	tailJob int           // guarded by mu
+	tailAgg SegSummary    // guarded by mu
 
 	// sealedMerge[c] caches the merge of every sealed segment's sorted run
 	// for column c, as a lazily-sorted view over the sealed prefix of the
@@ -185,10 +187,10 @@ type SegStore struct {
 	// multiset, so the cache survives it. Queries therefore pay one tail
 	// sort plus a single two-way merge per column, not a k-way merge —
 	// the merge cascade that keeps interleaved append+query O(tail)-ish.
-	sealedMerge [numSegFs]*FloatColumn
+	sealedMerge [numSegFs]*FloatColumn // guarded by mu
 
-	gen  uint64
-	snap *SegView
+	gen  uint64   // guarded by mu
+	snap *SegView // guarded by mu
 }
 
 // stagedTelemetry is monitoring-epilog output parked until the matching
@@ -467,7 +469,7 @@ func (st *SegStore) compactLocked() {
 	}
 	merged := make([]*segment, 0, (len(st.sealed)+1)/2)
 	for i := 0; i+1 < len(st.sealed); i += 2 {
-		merged = append(merged, st.mergeSegments(st.sealed[i], st.sealed[i+1]))
+		merged = append(merged, st.mergeSegmentsLocked(st.sealed[i], st.sealed[i+1]))
 	}
 	if len(st.sealed)%2 == 1 {
 		merged = append(merged, st.sealed[len(st.sealed)-1])
@@ -477,12 +479,13 @@ func (st *SegStore) compactLocked() {
 	st.snap = nil
 }
 
-// mergeSegments combines two adjacent segments into one. Column views are
-// re-cut from the shared backing arrays (the windows are contiguous); the
-// sorted view stays lazy — it merges the children's runs on first use, so
-// sealed data is sorted at most once no matter how many compactions roll
-// over it, and never if nobody asks.
-func (st *SegStore) mergeSegments(a, b *segment) *segment {
+// mergeSegmentsLocked combines two adjacent segments into one. Column
+// views are re-cut from the shared backing arrays (the windows are
+// contiguous); the sorted view stays lazy — it merges the children's runs
+// on first use, so sealed data is sorted at most once no matter how many
+// compactions roll over it, and never if nobody asks. Called with mu held
+// (it reads the backing arrays), hence the Locked suffix.
+func (st *SegStore) mergeSegmentsLocked(a, b *segment) *segment {
 	out := &segment{startJob: a.startJob, endJob: b.endJob, agg: a.agg}
 	out.agg.Merge(&b.agg)
 	for c := 0; c < numSegFs; c++ {
